@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compact the functional-unit PTPs (the paper's Table III flow).
+
+Covers the ATPG-based path end to end: runs the built-in ATPG on the SP
+core and the SFU, converts the patterns into the TPGEN and SFU_IMM PTPs
+(partial conversion, as in the paper), generates the pseudorandom RAND
+PTP, and compacts TPGEN -> RAND (shared fault dropping, signature-per-
+thread observability) and SFU_IMM (reverse-order patterns).
+
+Run:  python examples/compact_functional_units.py
+"""
+
+from repro.core import CompactionPipeline, write_compaction_summary
+from repro.netlist.modules import build_sfu, build_sp_core
+from repro.stl import generate_rand, generate_sfu_imm, generate_tpgen
+
+
+def main():
+    width = 8  # laptop-friendly datapath width (experiments use 16)
+    sp_core = build_sp_core(width)
+    sfu = build_sfu(width)
+
+    print("ATPG on the SP core ({} gates) ...".format(
+        sp_core.netlist.num_gates))
+    tpgen, sp_atpg = generate_tpgen(sp_core, seed=1,
+                                    atpg_random_patterns=128,
+                                    atpg_max_backtracks=10,
+                                    atpg_podem_fault_limit=60)
+    print("  {} patterns -> TPGEN: {}".format(sp_atpg.patterns.count,
+                                              tpgen.description))
+
+    rand = generate_rand(seed=1, num_sbs=80)
+    print("RAND: {} instructions (pseudorandom, SpT-observed)".format(
+        rand.size))
+
+    print("ATPG on the SFU ({} gates) ...".format(sfu.netlist.num_gates))
+    sfu_imm, sfu_atpg = generate_sfu_imm(sfu, seed=1,
+                                         atpg_random_patterns=96,
+                                         atpg_max_backtracks=5,
+                                         atpg_podem_fault_limit=40)
+    print("  {} patterns -> SFU_IMM: {}".format(sfu_atpg.patterns.count,
+                                                sfu_imm.description))
+
+    print("\nCompacting the SP-core PTPs (TPGEN first, then RAND under "
+          "fault dropping) ...")
+    sp_pipeline = CompactionPipeline(sp_core)
+    for ptp in (tpgen, rand):
+        outcome = sp_pipeline.compact(ptp)
+        print()
+        print(write_compaction_summary(outcome))
+    print("Note the RAND FC drop: its instructions mostly re-detect "
+          "faults TPGEN already covers (the paper's -17.07 effect).")
+
+    print("\nCompacting SFU_IMM (stage-3 patterns in reverse order) ...")
+    sfu_pipeline = CompactionPipeline(sfu)
+    outcome = sfu_pipeline.compact(sfu_imm, reverse_patterns=True)
+    print()
+    print(write_compaction_summary(outcome))
+    print("SFU SBs are data-independent, so the FC delta is exactly 0.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduction of "A Compaction Method for STLs for GPU in-field test"
+(Guerrero-Balaguera, Rodriguez Condia, Sonza Reorda - DATE 2022).
+
+Subpackages:
+
+* :mod:`repro.isa` - the FlexGripPlus-class SASS-like ISA (52 opcodes).
+* :mod:`repro.gpu` - the cycle-level SIMT GPU model + tracing monitor.
+* :mod:`repro.netlist` - the gate-level substrate and the three target
+  modules (Decoder Unit, SP core, SFU).
+* :mod:`repro.faults` - stuck-at fault lists, fault simulation, dropping,
+  and ATPG.
+* :mod:`repro.stl` - the STL layer: PTP containers, the SB builder, the
+  six generators of Table I, and the signature-per-thread model.
+* :mod:`repro.core` - **the paper's contribution**: the five-stage
+  compaction pipeline.
+* :mod:`repro.baselines` - prior-work comparison baselines.
+* :mod:`repro.analysis` - the experiment harness regenerating every table.
+
+Quickstart::
+
+    from repro.netlist.modules import build_decoder_unit
+    from repro.stl import generate_imm
+    from repro.core import CompactionPipeline
+
+    pipeline = CompactionPipeline(build_decoder_unit())
+    outcome = pipeline.compact(generate_imm(seed=0, num_sbs=40))
+    print(outcome.size_reduction_percent, outcome.fc_diff)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .core.pipeline import CompactionOutcome, CompactionPipeline
+
+__version__ = "1.0.0"
+
+__all__ = ["CompactionPipeline", "CompactionOutcome", "__version__"]

@@ -1,0 +1,13 @@
+"""Experiment harness: paper constants, table builders, campaign driver."""
+
+from .experiments import DEFAULT, Experiment, ExperimentScale, SMOKE
+from .tables import (combined_outcome_row, compaction_rows, render_table1,
+                     render_compaction_table, stl_aggregate, table1_rows)
+from . import paper_data
+
+__all__ = [
+    "Experiment", "ExperimentScale", "DEFAULT", "SMOKE",
+    "table1_rows", "render_table1", "compaction_rows",
+    "render_compaction_table", "combined_outcome_row", "stl_aggregate",
+    "paper_data",
+]

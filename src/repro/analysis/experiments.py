@@ -1,0 +1,187 @@
+"""Shared experiment driver used by the benchmarks and examples.
+
+Builds the three target modules, generates the six-PTP STL of Table I, and
+runs the compaction campaigns of Tables II/III with the paper's ordering
+(fault dropping IMM -> MEM -> CNTRL on the DU; TPGEN -> RAND on the SP
+cores; SFU_IMM with reversed patterns on the SFU).
+
+Scale is controlled by an :class:`ExperimentScale`; ``SMOKE`` keeps unit
+tests fast, ``DEFAULT`` is the benchmark configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fc_eval import combined_fc, evaluate_fc
+from ..core.partition import partition_ptp
+from ..core.pipeline import CompactionPipeline
+from ..gpu.gpu import Gpu
+from ..netlist.modules import build_decoder_unit, build_sfu, build_sp_core
+from ..stl.generators import (generate_cntrl, generate_imm, generate_mem,
+                              generate_rand, generate_sfu_imm,
+                              generate_tpgen)
+from ..stl.ptp import SelfTestLibrary
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs for one experiment campaign."""
+
+    datapath_width: int = 16
+    imm_sbs: int = 125
+    mem_sbs: int = 120
+    cntrl_sbs: int = 18
+    rand_sbs: int = 220
+    tpgen_random_patterns: int = 512
+    tpgen_max_backtracks: int = 20
+    tpgen_podem_fault_limit: int = 150
+    sfu_random_patterns: int = 192
+    sfu_max_backtracks: int = 10
+    sfu_podem_fault_limit: int = 100
+    seed: int = 2022
+
+
+#: Benchmark-scale configuration (minutes, not hours).
+DEFAULT = ExperimentScale()
+
+#: Unit/integration-test configuration (seconds).
+SMOKE = ExperimentScale(datapath_width=8, imm_sbs=16, mem_sbs=14,
+                        cntrl_sbs=6, rand_sbs=16, tpgen_random_patterns=48,
+                        tpgen_max_backtracks=5, tpgen_podem_fault_limit=30,
+                        sfu_random_patterns=32, sfu_max_backtracks=3,
+                        sfu_podem_fault_limit=20)
+
+
+class Experiment:
+    """Lazily-built modules, STL, and campaign results for one scale."""
+
+    def __init__(self, scale=DEFAULT):
+        self.scale = scale
+        self.gpu = Gpu()
+        self._modules = None
+        self._stl = None
+        self._atpg = {}
+
+    @property
+    def modules(self):
+        """{'decoder_unit': ..., 'sp_core': ..., 'sfu': ...}"""
+        if self._modules is None:
+            width = self.scale.datapath_width
+            self._modules = {
+                "decoder_unit": build_decoder_unit(),
+                "sp_core": build_sp_core(width),
+                "sfu": build_sfu(width),
+            }
+        return self._modules
+
+    @property
+    def stl(self):
+        """The six-PTP STL (Table I order)."""
+        if self._stl is None:
+            scale = self.scale
+            seed = scale.seed
+            tpgen, tpgen_atpg = generate_tpgen(
+                self.modules["sp_core"], seed=seed,
+                atpg_random_patterns=scale.tpgen_random_patterns,
+                atpg_max_backtracks=scale.tpgen_max_backtracks,
+                atpg_podem_fault_limit=scale.tpgen_podem_fault_limit)
+            sfu_imm, sfu_atpg = generate_sfu_imm(
+                self.modules["sfu"], seed=seed,
+                atpg_random_patterns=scale.sfu_random_patterns,
+                atpg_max_backtracks=scale.sfu_max_backtracks,
+                atpg_podem_fault_limit=scale.sfu_podem_fault_limit)
+            self._atpg = {"TPGEN": tpgen_atpg, "SFU_IMM": sfu_atpg}
+            self._stl = SelfTestLibrary([
+                generate_imm(seed=seed, num_sbs=scale.imm_sbs),
+                generate_mem(seed=seed, num_sbs=scale.mem_sbs),
+                generate_cntrl(seed=seed, num_sbs=scale.cntrl_sbs),
+                tpgen,
+                generate_rand(seed=seed, num_sbs=scale.rand_sbs),
+                sfu_imm,
+            ])
+        return self._stl
+
+    # -- Table I ---------------------------------------------------------------
+
+    def table1_features(self):
+        """Measured Table I rows: size, ARC%, duration, FC per PTP plus
+        the two combined rows."""
+        features = {}
+        evaluations = {}
+        for ptp in self.stl:
+            module = self.modules[ptp.target]
+            partition = partition_ptp(ptp)
+            evaluation = evaluate_fc(
+                ptp, module, gpu=self.gpu,
+                reverse_patterns=False)
+            evaluations[ptp.name] = evaluation
+            features[ptp.name] = {
+                "size": ptp.size,
+                "arc": partition.arc_percent(),
+                "duration": evaluation.cycles,
+                "fc": evaluation.fc_percent,
+            }
+        for combo, parts in (("IMM+MEM+CNTRL", ("IMM", "MEM", "CNTRL")),
+                             ("TPGEN+RAND", ("TPGEN", "RAND"))):
+            target = self.stl[parts[0]].target
+            module = self.modules[target]
+            from ..faults.fault import FaultList
+
+            total_faults = len(FaultList(module.netlist))
+            features[combo] = {
+                "size": sum(features[p]["size"] for p in parts),
+                "arc": (100.0 * sum(
+                    features[p]["arc"] * features[p]["size"] / 100.0
+                    for p in parts)
+                    / sum(features[p]["size"] for p in parts)),
+                "duration": sum(features[p]["duration"] for p in parts),
+                "fc": combined_fc([evaluations[p] for p in parts],
+                                  total_faults),
+            }
+        return features
+
+    # -- Tables II / III ----------------------------------------------------------
+
+    def run_du_campaign(self):
+        """Table II: compact IMM, MEM, CNTRL (in order, shared dropping)."""
+        pipeline = CompactionPipeline(self.modules["decoder_unit"],
+                                      gpu=self.gpu)
+        outcomes = {}
+        for name in ("IMM", "MEM", "CNTRL"):
+            outcomes[name] = pipeline.compact(self.stl[name])
+        return outcomes, pipeline
+
+    def run_sp_campaign(self):
+        """Table III (SP rows): compact TPGEN then RAND (shared dropping)."""
+        pipeline = CompactionPipeline(self.modules["sp_core"], gpu=self.gpu)
+        outcomes = {}
+        for name in ("TPGEN", "RAND"):
+            outcomes[name] = pipeline.compact(self.stl[name])
+        return outcomes, pipeline
+
+    def run_sfu_campaign(self):
+        """Table III (SFU row): compact SFU_IMM with reversed patterns."""
+        pipeline = CompactionPipeline(self.modules["sfu"], gpu=self.gpu)
+        outcome = pipeline.compact(self.stl["SFU_IMM"],
+                                   reverse_patterns=True)
+        return {"SFU_IMM": outcome}, pipeline
+
+    def combined_fc_pair(self, outcomes, names):
+        """(original, compacted) union FC for a combined row."""
+        target = outcomes[names[0]].ptp.target
+        module = self.modules[target]
+        from ..faults.fault import FaultList
+
+        total = len(FaultList(module.netlist))
+        originals, compacteds = [], []
+        for name in names:
+            outcome = outcomes[name]
+            reverse = name == "SFU_IMM"
+            originals.append(evaluate_fc(outcome.ptp, module, gpu=self.gpu,
+                                         reverse_patterns=reverse))
+            compacteds.append(evaluate_fc(outcome.compacted, module,
+                                          gpu=self.gpu,
+                                          reverse_patterns=reverse))
+        return (combined_fc(originals, total),
+                combined_fc(compacteds, total))

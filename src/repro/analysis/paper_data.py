@@ -1,0 +1,67 @@
+"""Published numbers from the paper (Tables I-III and in-text aggregates).
+
+Used by the benchmark harness to print paper-vs-measured rows.  Our
+reproduction runs the same pipeline on scaled-down PTPs and modules, so the
+*shape* (who compacts more, signs of FC deltas, relative durations) is the
+comparable quantity, not the absolute values.
+"""
+
+from __future__ import annotations
+
+#: Table I — main features of the evaluated PTPs.
+TABLE1 = {
+    "IMM": {"target": "decoder_unit", "size": 32736, "arc": 100.0,
+            "duration": 2229225, "fc": 71.13},
+    "MEM": {"target": "decoder_unit", "size": 32581, "arc": 100.0,
+            "duration": 3186236, "fc": 76.59},
+    "CNTRL": {"target": "decoder_unit", "size": 336, "arc": 90.0,
+              "duration": 710100, "fc": 71.18},
+    "IMM+MEM+CNTRL": {"target": "decoder_unit", "size": 65653, "arc": 99.0,
+                      "duration": 6125561, "fc": 80.15},
+    "TPGEN": {"target": "sp_core", "size": 19604, "arc": 100.0,
+              "duration": 1447620, "fc": 84.07},
+    "RAND": {"target": "sp_core", "size": 55000, "arc": 100.0,
+             "duration": 3434235, "fc": 83.99},
+    "TPGEN+RAND": {"target": "sp_core", "size": 74604, "arc": 100.0,
+                   "duration": 4881855, "fc": 87.22},
+    "SFU_IMM": {"target": "sfu", "size": 16856, "arc": 100.0,
+                "duration": 1200034, "fc": 90.75},
+}
+
+#: Table II — compaction results for the Decoder Unit PTPs.
+TABLE2 = {
+    "IMM": {"size": 884, "size_pct": -97.30, "duration": 92423,
+            "duration_pct": -95.85, "fc_diff": +0.06, "hours": 2.28},
+    "MEM": {"size": 442, "size_pct": -98.64, "duration": 50144,
+            "duration_pct": -98.42, "fc_diff": -1.79, "hours": 2.62},
+    "CNTRL": {"size": 89, "size_pct": -73.51, "duration": 447689,
+              "duration_pct": -36.95, "fc_diff": -0.00, "hours": 0.91},
+    "IMM+MEM+CNTRL": {"size": 1415, "size_pct": -97.84, "duration": 590256,
+                      "duration_pct": -90.36, "fc_diff": -0.05,
+                      "hours": 5.81},
+}
+
+#: Table III — compaction results for the functional-unit PTPs.
+TABLE3 = {
+    "TPGEN": {"size": 4742, "size_pct": -75.81, "duration": 452401,
+              "duration_pct": -68.75, "fc_diff": -1.31, "hours": 0.28},
+    "RAND": {"size": 1215, "size_pct": -97.79, "duration": 112030,
+             "duration_pct": -96.74, "fc_diff": -17.07, "hours": 1.12},
+    "TPGEN+RAND": {"size": 5957, "size_pct": -92.02, "duration": 564431,
+                   "duration_pct": -88.44, "fc_diff": -3.13, "hours": 1.40},
+    "SFU_IMM": {"size": 9910, "size_pct": -41.20, "duration": 662524,
+                "duration_pct": -44.79, "fc_diff": 0.0, "hours": 0.31},
+}
+
+#: Whole-STL context (Section IV): the compacted PTPs account for 90.69%
+#: of the STL's size and 75.70% of its duration; the other PTPs are left
+#: untouched (control-unit tests whose algorithms break on removal).
+STL_COMPACTED_SIZE_SHARE = 0.9069
+STL_COMPACTED_DURATION_SHARE = 0.7570
+
+#: In-text whole-STL aggregate reductions.
+STL_SIZE_REDUCTION = -80.71
+STL_DURATION_REDUCTION = -64.43
+
+#: Faults injected in the validation campaigns (DU; SP cores; SFUs).
+PAPER_FAULTS = {"decoder_unit": 12834, "sp_core": 191616, "sfu": 180540}

@@ -1,0 +1,157 @@
+"""Table builders: rows shaped like the paper's Tables I, II, and III.
+
+Each builder returns a list of dict rows plus a plain-text rendering that
+prints measured values next to the published ones (from
+:mod:`repro.analysis.paper_data`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import paper_data
+
+
+@dataclass
+class TableRow:
+    """One rendered row: measured values + the paper's reference values."""
+
+    name: str
+    measured: dict
+    paper: dict = field(default_factory=dict)
+
+
+def _fmt(value, spec="{:.2f}"):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return spec.format(value)
+    return str(value)
+
+
+def table1_rows(features):
+    """Build Table I rows.
+
+    Args:
+        features: {ptp_name: {"size", "arc", "duration", "fc"}} measured
+            values, including combined pseudo-rows like "IMM+MEM+CNTRL".
+    """
+    rows = []
+    for name, measured in features.items():
+        rows.append(TableRow(name, measured,
+                             paper_data.TABLE1.get(name, {})))
+    return rows
+
+
+def render_table1(rows):
+    header = ("{:<15} {:>8} {:>7} {:>10} {:>7}   |{:>9} {:>6} {:>11} "
+              "{:>7}".format("PTP", "Size", "ARC%", "Duration", "FC%",
+                             "p.Size", "p.ARC", "p.Duration", "p.FC"))
+    lines = ["TABLE I. MAIN FEATURES OF THE EVALUATED PTPS", header,
+             "-" * len(header)]
+    for row in rows:
+        m, p = row.measured, row.paper
+        lines.append(
+            "{:<15} {:>8} {:>7} {:>10} {:>7}   |{:>9} {:>6} {:>11} {:>7}"
+            .format(row.name, _fmt(m.get("size")),
+                    _fmt(m.get("arc"), "{:.1f}"),
+                    _fmt(m.get("duration")), _fmt(m.get("fc")),
+                    _fmt(p.get("size")), _fmt(p.get("arc"), "{:.1f}"),
+                    _fmt(p.get("duration")), _fmt(p.get("fc"))))
+    return "\n".join(lines) + "\n"
+
+
+def compaction_rows(outcomes, paper_table):
+    """Rows for Table II/III from :class:`CompactionOutcome` objects.
+
+    *outcomes* maps row name -> outcome (or a combined pseudo-outcome dict
+    with the same keys).
+    """
+    rows = []
+    for name, outcome in outcomes.items():
+        if isinstance(outcome, dict):
+            measured = outcome
+        else:
+            measured = {
+                "size": outcome.compacted_size,
+                "size_pct": outcome.size_reduction_percent,
+                "duration": outcome.compacted_cycles,
+                "duration_pct": outcome.duration_reduction_percent,
+                "fc_diff": outcome.fc_diff,
+                "seconds": outcome.compaction_seconds,
+            }
+        rows.append(TableRow(name, measured, paper_table.get(name, {})))
+    return rows
+
+
+def render_compaction_table(rows, title):
+    header = ("{:<15} {:>7} {:>8} {:>9} {:>8} {:>8} {:>8}   |{:>8} {:>8} "
+              "{:>8} {:>8}".format(
+                  "PTP", "instr", "size%", "ccs", "dur%", "dFC", "sec",
+                  "p.size%", "p.dur%", "p.dFC", "p.hours"))
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        m, p = row.measured, row.paper
+        lines.append(
+            "{:<15} {:>7} {:>8} {:>9} {:>8} {:>8} {:>8}   |{:>8} {:>8} "
+            "{:>8} {:>8}".format(
+                row.name, _fmt(m.get("size")),
+                _fmt(m.get("size_pct"), "{:+.2f}"),
+                _fmt(m.get("duration")),
+                _fmt(m.get("duration_pct"), "{:+.2f}"),
+                _fmt(m.get("fc_diff"), "{:+.2f}"),
+                _fmt(m.get("seconds"), "{:.2f}"),
+                _fmt(p.get("size_pct"), "{:+.2f}"),
+                _fmt(p.get("duration_pct"), "{:+.2f}"),
+                _fmt(p.get("fc_diff"), "{:+.2f}"),
+                _fmt(p.get("hours"), "{:.2f}")))
+    return "\n".join(lines) + "\n"
+
+
+def combined_outcome_row(outcomes, combined_fc_original, combined_fc_compacted):
+    """Combined pseudo-row (e.g. IMM+MEM+CNTRL) from individual outcomes."""
+    original_size = sum(o.original_size for o in outcomes)
+    compacted_size = sum(o.compacted_size for o in outcomes)
+    original_ccs = sum(o.original_cycles for o in outcomes)
+    compacted_ccs = sum(o.compacted_cycles for o in outcomes)
+    return {
+        "size": compacted_size,
+        "size_pct": (-100.0 * (original_size - compacted_size)
+                     / original_size if original_size else 0.0),
+        "duration": compacted_ccs,
+        "duration_pct": (-100.0 * (original_ccs - compacted_ccs)
+                         / original_ccs if original_ccs else 0.0),
+        "fc_diff": combined_fc_compacted - combined_fc_original,
+        "seconds": sum(o.compaction_seconds for o in outcomes),
+    }
+
+
+def stl_aggregate(outcomes):
+    """Whole-STL reduction, modeling the non-compacted remainder.
+
+    Section IV: the compacted PTPs cover 90.69% of the STL size and 75.70%
+    of its duration; the other PTPs (control-unit tests) stay untouched.
+    The same shares model our scaled STL's remainder.
+    """
+    original_size = sum(o.original_size for o in outcomes)
+    compacted_size = sum(o.compacted_size for o in outcomes)
+    original_ccs = sum(o.original_cycles for o in outcomes)
+    compacted_ccs = sum(o.compacted_cycles for o in outcomes)
+
+    others_size = original_size * (1 - paper_data.STL_COMPACTED_SIZE_SHARE
+                                   ) / paper_data.STL_COMPACTED_SIZE_SHARE
+    others_ccs = original_ccs * (1 - paper_data.STL_COMPACTED_DURATION_SHARE
+                                 ) / paper_data.STL_COMPACTED_DURATION_SHARE
+
+    stl_size_before = original_size + others_size
+    stl_size_after = compacted_size + others_size
+    stl_ccs_before = original_ccs + others_ccs
+    stl_ccs_after = compacted_ccs + others_ccs
+    return {
+        "size_reduction_pct": -100.0 * (stl_size_before - stl_size_after)
+                              / stl_size_before,
+        "duration_reduction_pct": -100.0 * (stl_ccs_before - stl_ccs_after)
+                                  / stl_ccs_before,
+        "paper_size_reduction_pct": paper_data.STL_SIZE_REDUCTION,
+        "paper_duration_reduction_pct": paper_data.STL_DURATION_REDUCTION,
+    }

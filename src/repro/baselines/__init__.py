@@ -1,0 +1,13 @@
+"""Prior-work compaction baselines for the cost/quality comparison.
+
+The paper's headline advantage is needing ONE fault simulation per PTP
+where prior CPU-oriented techniques need one per candidate removal
+([13]-[16]) or rely on reordering ([17]).  These implementations make that
+comparison measurable on identical PTPs and modules.
+"""
+
+from .iterative import IterativeOutcome, compact_iteratively
+from .reorder import ReorderOutcome, compact_by_reordering
+
+__all__ = ["compact_iteratively", "IterativeOutcome",
+           "compact_by_reordering", "ReorderOutcome"]

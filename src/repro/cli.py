@@ -1,0 +1,200 @@
+"""Command-line interface: the compaction tool of Section IV.
+
+"The proposed compaction approach was implemented as a tool written in
+Python language.  This tool interacts with one logic simulator and one
+fault injector simulator, composing an environment to analyze and compact
+the GPU's STLs."  This module is that tool's front end::
+
+    python -m repro info      --module decoder_unit
+    python -m repro generate  --ptp IMM --seed 0 --sbs 60 --out ptp_imm/
+    python -m repro compact   --ptp-dir ptp_imm/ --out compacted/ --reports
+    python -m repro tables    --scale smoke
+
+All simulation artifacts are written as text files (tracing report, VCDE
+pattern report, fault-sim report, labeled program), as in the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .analysis import experiments as _experiments
+from .analysis.tables import render_table1, table1_rows
+from .core.pipeline import CompactionPipeline
+from .core.reports import (write_compaction_summary, write_fault_sim_report,
+                           write_labeled_ptp)
+from .core.patterns import write_pattern_report
+from .gpu.trace import write_trace_report
+from .netlist.modules import build_decoder_unit, build_sfu, build_sp_core
+from .stl.io import load_ptp, save_ptp
+
+_MODULE_BUILDERS = {
+    "decoder_unit": lambda width: build_decoder_unit(),
+    "sp_core": build_sp_core,
+    "sfu": build_sfu,
+}
+
+_GENERATORS = {
+    "IMM": ("decoder_unit", "generate_imm"),
+    "MEM": ("decoder_unit", "generate_mem"),
+    "CNTRL": ("decoder_unit", "generate_cntrl"),
+    "RAND": ("sp_core", "generate_rand"),
+}
+
+
+def _build_module(name, width):
+    try:
+        return _MODULE_BUILDERS[name](width)
+    except KeyError:
+        raise SystemExit("unknown module {!r}; pick one of {}".format(
+            name, ", ".join(sorted(_MODULE_BUILDERS))))
+
+
+def cmd_info(args):
+    module = _build_module(args.module, args.width)
+    from .faults import FaultList
+
+    stats = module.netlist.stats()
+    fault_list = FaultList(module.netlist)
+    print("module    : {}".format(module.name))
+    print("gates     : {}".format(stats["gates"]))
+    print("depth     : {}".format(stats["depth"]))
+    print("inputs    : {} nets ({})".format(
+        stats["inputs"], ", ".join(sorted(module.input_words))))
+    print("outputs   : {} nets ({})".format(
+        stats["outputs"], ", ".join(sorted(module.output_words))))
+    print("faults    : {} collapsed stuck-at".format(len(fault_list)))
+    by_type = ", ".join("{} {}".format(count, name)
+                        for name, count in sorted(stats["by_type"].items()))
+    print("cell mix  : {}".format(by_type))
+    return 0
+
+
+def cmd_generate(args):
+    if args.ptp not in _GENERATORS:
+        raise SystemExit(
+            "unknown PTP {!r}; this command generates {} (TPGEN/SFU_IMM "
+            "need an ATPG run: see examples/compact_functional_units.py)"
+            .format(args.ptp, ", ".join(sorted(_GENERATORS))))
+    target, fn_name = _GENERATORS[args.ptp]
+    from .stl import generators
+
+    generator = getattr(generators, fn_name)
+    ptp = generator(seed=args.seed, num_sbs=args.sbs)
+    save_ptp(ptp, args.out)
+    print("wrote {} ({} instructions, target {}) to {}".format(
+        ptp.name, ptp.size, ptp.target, args.out))
+    return 0
+
+
+def cmd_compact(args):
+    ptp = load_ptp(args.ptp_dir)
+    module = _build_module(ptp.target, args.width)
+    pipeline = CompactionPipeline(module)
+    outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
+                               evaluate=not args.no_evaluate)
+    save_ptp(outcome.compacted, args.out)
+    print(write_compaction_summary(outcome))
+    if args.reports:
+        reports_dir = os.path.join(args.out, "reports")
+        os.makedirs(reports_dir, exist_ok=True)
+        with open(os.path.join(reports_dir, "trace.txt"), "w") as handle:
+            handle.write(write_trace_report(outcome.tracing.trace))
+        with open(os.path.join(reports_dir, "patterns.vcde"), "w") as handle:
+            handle.write(write_pattern_report(
+                outcome.tracing.pattern_report))
+        with open(os.path.join(reports_dir, "fault_sim.txt"), "w") as handle:
+            handle.write(write_fault_sim_report(
+                outcome.fault_result, outcome.tracing.pattern_report))
+        with open(os.path.join(reports_dir, "labeled.txt"), "w") as handle:
+            handle.write(write_labeled_ptp(outcome.labeled))
+        print("reports written to {}".format(reports_dir))
+    return 0
+
+
+def cmd_tables(args):
+    scale = _experiments.SMOKE if args.scale == "smoke" else (
+        _experiments.DEFAULT)
+    experiment = _experiments.Experiment(scale)
+    print(render_table1(table1_rows(experiment.table1_features())))
+    if args.table1_only:
+        return 0
+    from .analysis.tables import (combined_outcome_row, compaction_rows,
+                                  render_compaction_table)
+    from .analysis import paper_data
+
+    du_outcomes, __ = experiment.run_du_campaign()
+    fc_orig, fc_comp = experiment.combined_fc_pair(
+        du_outcomes, ("IMM", "MEM", "CNTRL"))
+    rows = dict(du_outcomes)
+    rows["IMM+MEM+CNTRL"] = combined_outcome_row(
+        list(du_outcomes.values()), fc_orig, fc_comp)
+    print(render_compaction_table(compaction_rows(rows, paper_data.TABLE2),
+                                  "TABLE II (measured | paper)"))
+
+    sp_outcomes, __ = experiment.run_sp_campaign()
+    sfu_outcomes, __s = experiment.run_sfu_campaign()
+    fc_orig, fc_comp = experiment.combined_fc_pair(sp_outcomes,
+                                                   ("TPGEN", "RAND"))
+    rows = dict(sp_outcomes)
+    rows["TPGEN+RAND"] = combined_outcome_row(
+        list(sp_outcomes.values()), fc_orig, fc_comp)
+    rows["SFU_IMM"] = sfu_outcomes["SFU_IMM"]
+    print(render_compaction_table(compaction_rows(rows, paper_data.TABLE3),
+                                  "TABLE III (measured | paper)"))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STL compaction tool (DATE 2022 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a target module")
+    p_info.add_argument("--module", default="decoder_unit")
+    p_info.add_argument("--width", type=int, default=16,
+                        help="datapath width for sp_core/sfu")
+    p_info.set_defaults(func=cmd_info)
+
+    p_gen = sub.add_parser("generate", help="generate a PTP to a directory")
+    p_gen.add_argument("--ptp", required=True,
+                       help="IMM | MEM | CNTRL | RAND")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--sbs", type=int, default=60,
+                       help="number of Small Blocks")
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_compact = sub.add_parser("compact",
+                               help="compact a saved PTP directory")
+    p_compact.add_argument("--ptp-dir", required=True)
+    p_compact.add_argument("--out", required=True)
+    p_compact.add_argument("--width", type=int, default=16)
+    p_compact.add_argument("--reverse", action="store_true",
+                           help="apply stage-3 patterns in reverse order")
+    p_compact.add_argument("--no-evaluate", action="store_true",
+                           help="skip the stage-5 validation fault sims")
+    p_compact.add_argument("--reports", action="store_true",
+                           help="also write trace/VCDE/FSR/LPTP files")
+    p_compact.set_defaults(func=cmd_compact)
+
+    p_tables = sub.add_parser("tables",
+                              help="regenerate the paper's tables")
+    p_tables.add_argument("--scale", choices=("smoke", "default"),
+                          default="smoke")
+    p_tables.add_argument("--table1-only", action="store_true")
+    p_tables.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

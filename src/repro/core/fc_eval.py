@@ -1,0 +1,103 @@
+"""Stage 5 support — fault-coverage evaluation of (compacted) PTPs.
+
+"In this stage, a final fault simulation is employed to evaluate the FC
+features of the CPTPs in the new STL." (Section III stage 5.)
+
+Observability follows the PTP's detection mechanism (Section II.C: "the
+fault detection of a PTP is commonly performed using ... thread signatures
+... out of the values on any observation point or memory output"):
+
+* module-output observability for DU and SFU PTPs (results are stored
+  straight to memory);
+* signature-per-thread observability for SP PTPs (TPGEN / RAND fold their
+  results into an SpT) — the MISR fold makes aliasing a real effect, which
+  is what moves the SP FC numbers under compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults.fault import FaultList
+from ..faults.fault_sim import FaultSimulator
+from .tracing import run_logic_tracing
+
+
+@dataclass
+class FcEvaluation:
+    """FC of one PTP against one module fault list.
+
+    Attributes:
+        ptp: the evaluated PTP.
+        fc_percent: fault coverage over the full module fault list.
+        detected: set of detected faults.
+        cycles: the PTP's duration in clock cycles.
+        pattern_count: patterns applied to the module.
+        observability: "module" or "signature".
+    """
+
+    ptp: object
+    fc_percent: float
+    detected: set
+    cycles: int
+    pattern_count: int
+    observability: str
+
+
+def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
+                reverse_patterns=False):
+    """Fault-simulate *ptp* end to end and report its FC.
+
+    Args:
+        ptp: the PTP to evaluate.
+        module: the target :class:`HardwareModule`.
+        fault_list: faults to measure against (default: the module's full
+            collapsed list — the denominator is always this list's size).
+        gpu: optional shared :class:`~repro.gpu.gpu.Gpu`.
+        observability: "module" or "signature"; default picks "signature"
+            for PTPs with ``uses_signature`` and "module" otherwise.
+        reverse_patterns: apply the pattern sequence in reverse order (the
+            paper does this for SFU_IMM).
+
+    Returns:
+        An :class:`FcEvaluation`.
+    """
+    if fault_list is None:
+        fault_list = FaultList(module.netlist)
+    if observability is None:
+        observability = "signature" if ptp.uses_signature else "module"
+
+    tracing = run_logic_tracing(ptp, module, gpu=gpu)
+    report = tracing.pattern_report
+    if reverse_patterns:
+        report = report.reversed()
+    patterns = report.to_pattern_set()
+    simulator = FaultSimulator(module.netlist)
+
+    if observability == "signature":
+        result, signature_detected = simulator.run_signature(
+            patterns, fault_list, module.output_words["result"],
+            report.thread_sequences())
+        detected = {fault for fault, hit in zip(fault_list,
+                                                signature_detected) if hit}
+    else:
+        result = simulator.run(patterns, fault_list)
+        detected = set(result.detected_faults)
+
+    fc = 100.0 * len(detected) / len(fault_list) if len(fault_list) else 0.0
+    return FcEvaluation(
+        ptp=ptp,
+        fc_percent=fc,
+        detected=detected,
+        cycles=tracing.cycles,
+        pattern_count=patterns.count,
+        observability=observability,
+    )
+
+
+def combined_fc(evaluations, total_faults):
+    """FC of several PTPs taken together (union of detected faults)."""
+    union = set()
+    for evaluation in evaluations:
+        union |= evaluation.detected
+    return 100.0 * len(union) / total_faults if total_faults else 0.0

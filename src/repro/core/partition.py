@@ -1,0 +1,115 @@
+"""Stage 1 — PTP partitioning: Admissible Regions for Compaction (ARCs).
+
+"The identification of the ARC follows three steps.  The first step defines
+and finds the Basic Blocks of each PTP. ...  The second step analyzes the
+control flow graph of the PTP and incorporates in the ARC all BBs in the
+PTP except those BBs involved in parametric loops whose iterative parameter
+is calculated by any BB inside or outside the loop.  Once the ARCs are
+identified and chosen, the third step ... extracts these regions from the
+PTPs.  In contrast, other regions of the PTPs are discarded as candidates
+for compaction and remain unaffected." (Section III)
+
+A loop is *parametric* when the register steering its back-edge branch
+condition is computed at run time (memory loads, special registers, or
+values derived from them) rather than from immediate constants only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.opcodes import Op
+from .cfg import (build_cfg, defining_instructions, find_loops,
+                  is_immediate_only_def)
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of the partitioning stage for one PTP.
+
+    Attributes:
+        cfg: the :class:`~repro.core.cfg.ControlFlowGraph`.
+        admissible_blocks: BB indices inside the ARC.
+        inadmissible_blocks: BB indices excluded (parametric loops).
+        loops: the detected loops (as returned by
+            :func:`~repro.core.cfg.find_loops`), each annotated with a
+            ``"parametric"`` flag.
+    """
+
+    cfg: object
+    admissible_blocks: set
+    inadmissible_blocks: set
+    loops: list = field(default_factory=list)
+
+    @property
+    def arc_instruction_count(self):
+        return sum(self.cfg.blocks[b].size for b in self.admissible_blocks)
+
+    @property
+    def total_instruction_count(self):
+        return sum(block.size for block in self.cfg.blocks)
+
+    def arc_percent(self):
+        """Static ARC share in percent (the paper's Table I 'ARC (%)')."""
+        total = self.total_instruction_count
+        if total == 0:
+            return 0.0
+        return 100.0 * self.arc_instruction_count / total
+
+    def is_admissible_pc(self, pc):
+        return self.cfg.block_of_pc[pc] in self.admissible_blocks
+
+
+def _loop_condition_registers(instructions, cfg, loop):
+    """Registers steering the loop's back-edge branch."""
+    tail_block = cfg.blocks[loop["tail"]]
+    if tail_block.size == 0:
+        return set()
+    branch = instructions[tail_block.end - 1]
+    if branch.op is not Op.BRA or branch.pred is None:
+        return set()
+    pred_index = branch.pred.index
+    # Find ISETP definitions of that predicate inside the loop.
+    registers = set()
+    for block_index in loop["body"]:
+        block = cfg.blocks[block_index]
+        for pc in range(block.start, block.end):
+            instr = instructions[pc]
+            if instr.op is Op.ISETP and instr.dst == pred_index:
+                registers.update(instr.regs_read())
+    return registers
+
+
+def _is_parametric(instructions, cfg, loop):
+    """A loop is parametric when any steering register has a runtime def."""
+    registers = _loop_condition_registers(instructions, cfg, loop)
+    if not registers:
+        # Unconditional back edge (infinite loop) or untracked condition:
+        # be conservative and treat as parametric.
+        return True
+    for reg in registers:
+        for def_pc in defining_instructions(instructions, reg):
+            if not is_immediate_only_def(instructions, def_pc):
+                return True
+    return False
+
+
+def partition_ptp(ptp):
+    """Run stage 1 on *ptp*; returns a :class:`PartitionResult`."""
+    instructions = list(ptp.program)
+    cfg = build_cfg(instructions)
+    loops = find_loops(cfg)
+
+    inadmissible = set()
+    for loop in loops:
+        loop["parametric"] = _is_parametric(instructions, cfg, loop)
+        if loop["parametric"]:
+            inadmissible.update(loop["body"])
+
+    admissible = {b.index for b in cfg.blocks} - inadmissible
+    return PartitionResult(
+        cfg=cfg,
+        admissible_blocks=admissible,
+        inadmissible_blocks=inadmissible,
+        loops=loops,
+    )

@@ -1,0 +1,182 @@
+"""The five-stage compaction pipeline (Fig. 1 of the paper).
+
+:class:`CompactionPipeline` owns one target module and its persistent
+fault-list report; :meth:`CompactionPipeline.compact` drives one PTP
+through:
+
+1. PTP partitioning (ARC identification);
+2. logic tracing (tracing report + VCDE pattern report);
+3. ONE optimized fault simulation + instruction labeling;
+4. PTP reduction (SB removal, data relocation);
+5. reassembly support (final FC evaluation of original vs compacted PTP).
+
+Fault dropping is applied across PTPs targeting the same module: the
+detected faults of each compacted PTP are removed from the module's fault
+list before the next PTP's fault simulation (this ordering sensitivity is
+the paper's MEM-after-IMM and RAND-after-TPGEN effect).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import CompactionError
+from ..faults.dropping import FaultListReport
+from ..faults.fault_sim import FaultSimulator
+from ..gpu.gpu import Gpu
+from .fc_eval import evaluate_fc
+from .labeling import label_instructions
+from .partition import partition_ptp
+from .reduction import reduce_ptp
+from .tracing import run_logic_tracing
+
+
+@dataclass
+class CompactionOutcome:
+    """Everything produced by compacting one PTP.
+
+    Size/duration/FC fields mirror the columns of Tables II and III.
+    """
+
+    ptp: object                     # original PTP
+    compacted: object               # the CPTP
+    partition: object = None
+    labeled: object = None
+    reduction: object = None
+    tracing: object = None
+    fault_result: object = None
+
+    original_size: int = 0
+    compacted_size: int = 0
+    original_cycles: int = 0
+    compacted_cycles: int = 0
+    original_fc: float = None
+    compacted_fc: float = None
+    compaction_seconds: float = 0.0
+    fault_simulations: int = 0
+    newly_dropped_faults: int = 0
+
+    @property
+    def size_reduction_percent(self):
+        """Size compaction in percent (Table II/III column 3, negative)."""
+        if self.original_size == 0:
+            return 0.0
+        return -100.0 * (self.original_size - self.compacted_size) / (
+            self.original_size)
+
+    @property
+    def duration_reduction_percent(self):
+        if self.original_cycles == 0:
+            return 0.0
+        return -100.0 * (self.original_cycles - self.compacted_cycles) / (
+            self.original_cycles)
+
+    @property
+    def fc_diff(self):
+        """Compacted minus original FC, in percentage points."""
+        if self.original_fc is None or self.compacted_fc is None:
+            return None
+        return self.compacted_fc - self.original_fc
+
+
+class CompactionPipeline:
+    """Compaction tool for PTPs targeting one GPU module."""
+
+    def __init__(self, module, gpu=None, collapse=True):
+        self.module = module
+        self.gpu = gpu or Gpu()
+        self.fault_report = FaultListReport(module.netlist,
+                                            collapse=collapse)
+        self.simulator = FaultSimulator(module.netlist)
+        self.outcomes = []
+
+    def compact(self, ptp, reverse_patterns=False, evaluate=True,
+                dropping=True):
+        """Compact one PTP; returns a :class:`CompactionOutcome`.
+
+        Args:
+            ptp: the PTP (must target this pipeline's module).
+            reverse_patterns: apply the stage-3 pattern sequence in reverse
+                (the paper's SFU_IMM configuration).
+            evaluate: run the stage-5 validation fault simulations and fill
+                the FC columns (two extra fault simulations, evaluation
+                only — the compaction itself still uses ONE).
+            dropping: label against the module's *remaining* fault list and
+                update it afterwards (the paper's configuration); False
+                uses the full list and leaves the report untouched.
+        """
+        if ptp.target != self.module.name:
+            raise CompactionError("PTP {!r} targets {!r}, pipeline is for "
+                                  "{!r}".format(ptp.name, ptp.target,
+                                                self.module.name))
+        started = time.perf_counter()
+
+        # Stage 1: partitioning.
+        partition = partition_ptp(ptp)
+        # Stage 2: logic tracing (RTL trace + GL pattern report).
+        tracing = run_logic_tracing(ptp, self.module, gpu=self.gpu)
+        report = tracing.pattern_report
+        if reverse_patterns:
+            report = report.reversed()
+        patterns = report.to_pattern_set()
+        # Stage 3: ONE optimized fault simulation + labeling.
+        target_list = (self.fault_report.remaining if dropping
+                       else self.fault_report.full_list)
+        fault_result = self.simulator.run(patterns, target_list)
+        labeled = label_instructions(ptp, tracing.trace, report,
+                                     fault_result)
+        # Stage 4: reduction.
+        reduction = reduce_ptp(labeled, partition)
+        compaction_seconds = time.perf_counter() - started
+
+        if dropping:
+            dropped = self.fault_report.drop(fault_result.detected_faults,
+                                             ptp.name)
+        else:
+            dropped = 0
+
+        outcome = CompactionOutcome(
+            ptp=ptp, compacted=reduction.compacted, partition=partition,
+            labeled=labeled, reduction=reduction, tracing=tracing,
+            fault_result=fault_result,
+            original_size=ptp.size,
+            compacted_size=reduction.compacted.size,
+            original_cycles=tracing.cycles,
+            compaction_seconds=compaction_seconds,
+            fault_simulations=1,
+            newly_dropped_faults=dropped,
+        )
+
+        # Stage 5: reassembly validation (evaluation-only fault sims).
+        if evaluate:
+            original_eval = evaluate_fc(ptp, self.module, gpu=self.gpu,
+                                        reverse_patterns=reverse_patterns)
+            compacted_eval = evaluate_fc(reduction.compacted, self.module,
+                                         gpu=self.gpu,
+                                         reverse_patterns=reverse_patterns)
+            outcome.original_fc = original_eval.fc_percent
+            outcome.compacted_fc = compacted_eval.fc_percent
+            outcome.original_cycles = original_eval.cycles
+            outcome.compacted_cycles = compacted_eval.cycles
+            outcome.fault_simulations += 2
+        else:
+            compacted_tracing = run_logic_tracing(reduction.compacted,
+                                                  self.module, gpu=self.gpu)
+            outcome.compacted_cycles = compacted_tracing.cycles
+
+        self.outcomes.append(outcome)
+        return outcome
+
+    def compact_stl(self, stl, reverse_for=("SFU_IMM",), evaluate=True):
+        """Compact every PTP of *stl* that targets this module, in STL
+        order (fault dropping carries across them); returns the outcomes
+        and replaces the PTPs inside *stl* with their compacted versions."""
+        outcomes = []
+        for ptp in list(stl.targeting(self.module.name)):
+            outcome = self.compact(ptp,
+                                   reverse_patterns=ptp.name in reverse_for,
+                                   evaluate=evaluate)
+            stl.replace(ptp.name, outcome.compacted)
+            outcomes.append(outcome)
+        return outcomes

@@ -1,0 +1,300 @@
+"""Stage 4 — PTP reduction (Fig. 3 of the paper).
+
+The LPTP is divided into BBs; each admissible BB is segmented into Small
+Blocks (load operands / execute / propagate); an SB is removed when ALL of
+its instructions are unessential, and kept untouched otherwise.  Removing
+an SB "may also imply the additional removal and relocation of associated
+input data from the main memory" — orphaned operand arrays are dropped from
+the PTP's global-memory image.
+
+Segmentation is structural (the tool sees only the instruction stream):
+
+* control-flow instructions and inadmissible BBs are *pinned* (never
+  removable) — deleting them would break the CFG or touch regions stage 1
+  excluded from the ARC;
+* for signature-based PTPs, a store that immediately precedes the PTP's
+  EXIT is pinned (it is the signature flush, the PTP's sole observable
+  mechanism); store-per-SB PTPs have no such flush;
+* within an admissible BB, a new SB starts at a load-class instruction
+  (MOV32I / S2R / GLD / SLD / CLD) that follows a propagation instruction
+  (a store, or a write to the signature register).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Program
+from ..isa.opcodes import Fmt, Op, Unit, info
+from ..stl.builder import DATA_BASE, OUTPUT_BASE, TID_REG
+from ..stl.signature import SIG_REG
+from .labeling import ESSENTIAL
+
+_LOAD_OPS = {Op.MOV32I, Op.S2R, Op.GLD, Op.SLD, Op.CLD}
+_STORE_OPS = {Op.GST, Op.SST}
+
+
+@dataclass
+class SmallBlock:
+    """One segmented Small Block: pcs ``[start, end)`` within a BB."""
+
+    start: int
+    end: int
+    removable: bool
+
+    @property
+    def size(self):
+        return self.end - self.start
+
+    def pcs(self):
+        return range(self.start, self.end)
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of stage 4.
+
+    Attributes:
+        compacted: the Compacted PTP (CPTP).
+        small_blocks: the segmentation used.
+        removed_blocks / kept_blocks: SBs deleted / retained.
+        pc_map: old pc -> new pc for kept instructions (None if removed).
+    """
+
+    compacted: object
+    small_blocks: list
+    removed_blocks: list = field(default_factory=list)
+    kept_blocks: list = field(default_factory=list)
+    pc_map: list = field(default_factory=list)
+
+    @property
+    def removed_instructions(self):
+        return sum(sb.size for sb in self.removed_blocks)
+
+
+def _is_propagation(instr):
+    """Store, or a write to the signature accumulator."""
+    if instr.op in _STORE_OPS:
+        return True
+    return (info(instr.op).writes_reg and instr.dst == SIG_REG
+            and instr.op is not Op.MOV32I)
+
+
+def _final_flush_pcs(instructions):
+    """Stores immediately preceding an EXIT (the PTP's observable flush)."""
+    pinned = set()
+    for pc, instr in enumerate(instructions):
+        if instr.op is Op.EXIT:
+            back = pc - 1
+            while back >= 0 and instructions[back].op in _STORE_OPS:
+                pinned.add(back)
+                back -= 1
+    return pinned
+
+
+def _preamble_pcs(instructions):
+    """The PTP preamble: leading thread-index / signature-accumulator
+    setup (S2R reads, MOV32I into the signature register).  It establishes
+    the test mechanism every SB relies on, so it is never a removable SB.
+    """
+    pinned = set()
+    for pc, instr in enumerate(instructions):
+        if instr.op is Op.S2R or (instr.op is Op.MOV32I
+                                  and instr.dst == SIG_REG):
+            pinned.add(pc)
+        else:
+            break
+    return pinned
+
+
+def _hammock_spans(instructions, partition):
+    """Self-contained SSY..JOIN divergence regions, as {start: end} (both
+    inclusive).
+
+    A span [s, j] qualifies when: instruction s is SSY targeting j, j holds
+    the matching JOIN, the whole span is admissible, every branch inside
+    stays inside (targets in (s, j]), and no branch from outside targets
+    the span's interior.  Such a region executes as one unit, so the
+    reduction may remove it wholly — this is what lets control-flow test
+    SBs (the CNTRL PTP's divergence constructs) be compacted.
+    """
+    external_targets = {}
+    for pc, instr in enumerate(instructions):
+        if instr.op in (Op.BRA, Op.CAL, Op.SSY):
+            external_targets.setdefault(instr.target, []).append(pc)
+
+    spans = {}
+    for s, instr in enumerate(instructions):
+        if instr.op is not Op.SSY:
+            continue
+        j = instr.target
+        if j <= s or j >= len(instructions):
+            continue
+        if instructions[j].op is not Op.JOIN:
+            continue
+        if not all(partition.is_admissible_pc(pc) for pc in range(s, j + 1)):
+            continue
+        contained = True
+        for pc in range(s + 1, j):
+            inner = instructions[pc]
+            if inner.op in (Op.CAL, Op.RET, Op.EXIT, Op.BAR, Op.SSY):
+                contained = False
+                break
+            if inner.op is Op.BRA and not s < inner.target <= j:
+                contained = False
+                break
+        if not contained:
+            continue
+        entered_from_outside = False
+        for target, sources in external_targets.items():
+            if s < target <= j and any(src < s or src > j
+                                       for src in sources):
+                entered_from_outside = True
+                break
+        if entered_from_outside:
+            continue
+        spans[s] = j
+    return spans
+
+
+def segment_small_blocks(ptp, partition):
+    """Segment *ptp* into :class:`SmallBlock` lists (pinned ones included,
+    flagged non-removable)."""
+    instructions = list(ptp.program)
+    pinned_flush = _preamble_pcs(instructions)
+    if ptp.uses_signature:
+        pinned_flush |= _final_flush_pcs(instructions)
+    hammocks = _hammock_spans(instructions, partition)
+    leaders = {bb.start for bb in partition.cfg.blocks}
+
+    blocks = []
+
+    def close(start, end, removable):
+        if end > start:
+            blocks.append(SmallBlock(start, end, removable))
+
+    run_start = None
+    seen_prop = False
+
+    def close_run(pc):
+        nonlocal run_start, seen_prop
+        if run_start is not None:
+            close(run_start, pc, True)
+            run_start = None
+        seen_prop = False
+
+    pc = 0
+    size = len(instructions)
+    while pc < size:
+        if pc in hammocks and pc not in pinned_flush:
+            close_run(pc)
+            close(pc, hammocks[pc] + 1, True)
+            pc = hammocks[pc] + 1
+            continue
+        if pc in leaders:
+            close_run(pc)
+        instr = instructions[pc]
+        pin = (not partition.is_admissible_pc(pc)
+               or info(instr.op).unit is Unit.CTRL
+               or pc in pinned_flush)
+        if pin:
+            close_run(pc)
+            close(pc, pc + 1, False)
+            pc += 1
+            continue
+        if run_start is None:
+            run_start = pc
+            seen_prop = False
+        elif seen_prop and instr.op in _LOAD_OPS:
+            close_run(pc)
+            run_start = pc
+        if _is_propagation(instr):
+            seen_prop = True
+        pc += 1
+    close_run(size)
+    blocks.sort(key=lambda sb: sb.start)
+    return blocks
+
+
+def _referenced_data_offsets(instructions, block_threads):
+    """Global-memory words read by the instruction list's GLDs."""
+    referenced = set()
+    for instr in instructions:
+        if instr.op is Op.GLD and instr.src_a == TID_REG:
+            for address in range(instr.imm, instr.imm + block_threads):
+                referenced.add(address)
+        elif instr.op is Op.GLD:
+            # Unknown base register: keep the whole data region around it.
+            return None
+    return referenced
+
+
+def reduce_ptp(labeled, partition, name_suffix="_compacted"):
+    """Run the Fig. 3 reduction on a labeled PTP.
+
+    Returns a :class:`ReductionResult` whose ``compacted`` PTP has branch
+    targets remapped and orphaned operand data dropped from its
+    global-memory image.
+    """
+    ptp = labeled.ptp
+    instructions = list(ptp.program)
+    small_blocks = segment_small_blocks(ptp, partition)
+
+    kept_blocks, removed_blocks = [], []
+    keep = [False] * len(instructions)
+    for sb in small_blocks:
+        essential = any(labeled.labels[pc] == ESSENTIAL for pc in sb.pcs())
+        if sb.removable and not essential:
+            removed_blocks.append(sb)
+        else:
+            kept_blocks.append(sb)
+            for pc in sb.pcs():
+                keep[pc] = True
+    # Any instruction not covered by segmentation (defensive) is kept.
+    covered = {pc for sb in small_blocks for pc in sb.pcs()}
+    for pc in range(len(instructions)):
+        if pc not in covered:
+            keep[pc] = True
+
+    pc_map = [None] * len(instructions)
+    new_instructions = []
+    for pc, kept in enumerate(keep):
+        if kept:
+            pc_map[pc] = len(new_instructions)
+            new_instructions.append(instructions[pc])
+
+    def remap(old_target):
+        # Targets normally point at pinned instructions; if the target was
+        # removed, fall through to the next kept instruction.
+        for candidate in range(old_target, len(pc_map)):
+            if pc_map[candidate] is not None:
+                return pc_map[candidate]
+        return len(new_instructions) - 1
+
+    for i, instr in enumerate(new_instructions):
+        if info(instr.op).fmt is Fmt.BRANCH:
+            new_instructions[i] = instr.with_target(remap(instr.target))
+
+    # Data relocation: drop operand arrays only referenced by removed SBs.
+    image = dict(ptp.global_image)
+    referenced = _referenced_data_offsets(new_instructions,
+                                          ptp.kernel.block_threads)
+    if referenced is not None:
+        image = {address: value for address, value in image.items()
+                 if address >= OUTPUT_BASE or address < DATA_BASE
+                 or address in referenced}
+
+    new_labels = {}
+    for label, target in ptp.program.labels.items():
+        mapped = remap(target)
+        new_labels[label] = mapped
+    compacted = ptp.with_program(Program(new_instructions, new_labels),
+                                 name=ptp.name + name_suffix)
+    compacted.global_image = image
+    return ReductionResult(
+        compacted=compacted,
+        small_blocks=small_blocks,
+        removed_blocks=removed_blocks,
+        kept_blocks=kept_blocks,
+        pc_map=pc_map,
+    )

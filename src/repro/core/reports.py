@@ -1,0 +1,90 @@
+"""Text report writers/parsers (the tool's file interchange formats).
+
+"The simulation reports, employed during the compaction process, are
+generated as text files." (Section IV.)  Besides the tracing report
+(:mod:`repro.gpu.trace`) and the VCDE pattern report
+(:mod:`repro.core.patterns`), this module renders:
+
+* the Fault Sim Report — per pattern: cc, activated faults, detected
+  faults (stage 3);
+* the Labeled PTP listing — per instruction: label + assembly (Fig. 2's
+  output);
+* a compaction summary block (one per PTP, Table II/III shaped).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReportError
+from ..isa.disassembler import format_instruction
+from .labeling import ESSENTIAL
+
+
+def write_fault_sim_report(fault_result, pattern_report, dropping=True):
+    """Render the stage-3 Fault Sim Report.
+
+    One line per pattern: pattern index, clock cycle, number of faults
+    detected at that pattern (first detections when *dropping*).
+    """
+    counts = fault_result.detections_per_pattern(dropping=dropping)
+    ccs = pattern_report.cc_of_pattern()
+    lines = ["#FSR module={} patterns={} faults={} detected={}".format(
+        pattern_report.module.name, fault_result.pattern_count,
+        len(fault_result.fault_list), fault_result.num_detected)]
+    for k, (cc, count) in enumerate(zip(ccs, counts)):
+        lines.append("{} {} {}".format(k, cc, count))
+    return "\n".join(lines) + "\n"
+
+
+def parse_fault_sim_report(text):
+    """Parse a Fault Sim Report; returns (header dict, rows).
+
+    Rows are (pattern_index, cc, detected_count) tuples.
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("#FSR"):
+        raise ReportError("missing FSR header")
+    header = dict(part.split("=", 1) for part in lines[0].split()[1:])
+    rows = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ReportError("FSR line {}: expected 3 fields".format(
+                lineno))
+        rows.append(tuple(int(p) for p in parts))
+    return header, rows
+
+
+def write_labeled_ptp(labeled):
+    """Render the LPTP: ``<label> <pc> <assembly>`` per instruction."""
+    lines = ["#LPTP name={} essential={} unessential={}".format(
+        labeled.ptp.name, labeled.num_essential, labeled.num_unessential)]
+    for pc, (label, instr) in enumerate(zip(labeled.labels,
+                                            labeled.ptp.program)):
+        flag = "E" if label == ESSENTIAL else "u"
+        lines.append("{} {:5d}  {}".format(flag, pc,
+                                           format_instruction(instr)))
+    return "\n".join(lines) + "\n"
+
+
+def write_compaction_summary(outcome):
+    """One PTP's compaction summary (the Table II/III row, as text)."""
+    lines = [
+        "PTP {}".format(outcome.ptp.name),
+        "  size:     {} -> {} instructions ({:+.2f}%)".format(
+            outcome.original_size, outcome.compacted_size,
+            outcome.size_reduction_percent),
+        "  duration: {} -> {} ccs ({:+.2f}%)".format(
+            outcome.original_cycles, outcome.compacted_cycles,
+            outcome.duration_reduction_percent),
+    ]
+    if outcome.fc_diff is not None:
+        lines.append("  FC:       {:.2f}% -> {:.2f}% (diff {:+.2f})".format(
+            outcome.original_fc, outcome.compacted_fc, outcome.fc_diff))
+    lines.append("  compaction time: {:.2f}s ({} fault simulation{} total, "
+                 "1 for the compaction itself)".format(
+                     outcome.compaction_seconds, outcome.fault_simulations,
+                     "s" if outcome.fault_simulations != 1 else ""))
+    return "\n".join(lines) + "\n"

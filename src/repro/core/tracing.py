@@ -1,0 +1,80 @@
+"""Stage 2 — logic tracing.
+
+"The logic tracing stage performs two logic simulations (one RTL and one
+GL) with the PTPs in the microarchitectural description of the GPU":
+
+* the RTL simulation, with the embedded hardware monitor, yields the
+  *tracing report* (per-cc decoded instruction / PC / warp / cc);
+* the GL simulation yields the *test pattern report* (per-cc module input
+  patterns, VCDE).
+
+Our cycle-level model produces both artifacts from one kernel execution —
+the two paper simulations observe the same run at different abstraction
+levels — exposed here as one :func:`run_logic_tracing` call returning both
+reports plus the kernel duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompactionError
+from ..gpu.gpu import Gpu
+from ..gpu.stimuli import (DecoderUnitCollector, SfuCollector,
+                           SpCoreCollector)
+from .patterns import PatternReport
+
+
+@dataclass
+class TracingResult:
+    """Artifacts of the logic-tracing stage for one PTP.
+
+    Attributes:
+        trace: list of :class:`~repro.gpu.trace.TraceRecord` (the tracing
+            report).
+        pattern_report: the per-module :class:`PatternReport` (the VCDE
+            test-pattern report).
+        cycles: kernel duration in clock cycles (Table I 'Duration').
+        instructions: dynamically executed instruction count.
+        kernel_result: the raw :class:`~repro.gpu.gpu.KernelResult`.
+    """
+
+    trace: list
+    pattern_report: object
+    cycles: int
+    instructions: int
+    kernel_result: object
+
+
+def collector_for(module):
+    """StimulusCollector matching a target :class:`HardwareModule`."""
+    if module.name == "decoder_unit":
+        return DecoderUnitCollector()
+    if module.name == "sp_core":
+        return SpCoreCollector(module.params["width"])
+    if module.name == "sfu":
+        return SfuCollector(module.params["width"])
+    raise CompactionError("no collector for module {!r}".format(module.name))
+
+
+def run_logic_tracing(ptp, module, gpu=None):
+    """Run stage 2 for *ptp* against target *module*.
+
+    Returns a :class:`TracingResult`.
+    """
+    if module.name != ptp.target:
+        raise CompactionError(
+            "PTP {!r} targets {!r}, but module is {!r}".format(
+                ptp.name, ptp.target, module.name))
+    gpu = gpu or Gpu()
+    collector = collector_for(module)
+    result = gpu.run_kernel(ptp.program, ptp.kernel, collectors=[collector],
+                            global_image=ptp.global_image)
+    report = PatternReport(module, result.stimuli[module.name])
+    return TracingResult(
+        trace=result.trace,
+        pattern_report=report,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        kernel_result=result,
+    )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IsaError(ReproError):
+    """Invalid instruction, operand, or encoding."""
+
+
+class AssemblyError(IsaError):
+    """Source-level assembly problem (syntax, unknown label, bad operand)."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line {}: {}".format(line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class EncodingError(IsaError):
+    """An instruction cannot be encoded into (or decoded from) 64 bits."""
+
+
+class NetlistError(ReproError):
+    """Malformed gate-level netlist (dangling nets, cycles, bad gate arity)."""
+
+
+class SimulationError(ReproError):
+    """The GPU functional simulator reached an invalid state."""
+
+
+class KernelLaunchError(SimulationError):
+    """Invalid kernel launch configuration."""
+
+
+class FaultSimError(ReproError):
+    """Fault list / fault simulation misuse."""
+
+
+class AtpgError(ReproError):
+    """ATPG engine failure (untestable fault handling, bad backtrace)."""
+
+
+class CompactionError(ReproError):
+    """The compaction pipeline was driven with inconsistent inputs."""
+
+
+class ReportError(ReproError):
+    """A report file could not be parsed or round-tripped."""

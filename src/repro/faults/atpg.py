@@ -1,0 +1,380 @@
+"""ATPG for single stuck-at faults: random phase + deterministic PODEM.
+
+This stands in for the commercial ATPG tool the paper uses to build the
+TPGEN and SFU_IMM PTPs ("test patterns extracted from an ATPG", Section IV).
+
+The random phase fault-simulates batches of pseudorandom patterns with fault
+dropping; the deterministic phase runs PODEM (Goel, 1981) per remaining
+fault using a five-valued composite algebra encoded as (good, faulty) pairs
+over {0, 1, X}.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import AtpgError
+from ..netlist.gates import CONTROLLING_VALUE, GateType
+from ..netlist.netlist import CONST0, CONST1
+from ..netlist.simulator import PatternSet
+from .fault import OUTPUT_PIN, FaultList, fault_sort_key
+from .fault_sim import FaultSimulator
+
+X = 2  # unknown logic value in the three-valued component domain
+
+
+def _and3(a, b):
+    if a == 0 or b == 0:
+        return 0
+    if a == X or b == X:
+        return X
+    return 1
+
+
+def _or3(a, b):
+    if a == 1 or b == 1:
+        return 1
+    if a == X or b == X:
+        return X
+    return 0
+
+
+def _not3(a):
+    return X if a == X else 1 - a
+
+
+def _xor3(a, b):
+    if a == X or b == X:
+        return X
+    return a ^ b
+
+
+def _mux3(a, b, sel):
+    if sel == 0:
+        return a
+    if sel == 1:
+        return b
+    return a if a == b and a != X else X
+
+
+def _eval3(gate_type, ins):
+    if gate_type is GateType.BUF:
+        return ins[0]
+    if gate_type is GateType.NOT:
+        return _not3(ins[0])
+    if gate_type is GateType.AND:
+        return _and3(ins[0], ins[1])
+    if gate_type is GateType.OR:
+        return _or3(ins[0], ins[1])
+    if gate_type is GateType.NAND:
+        return _not3(_and3(ins[0], ins[1]))
+    if gate_type is GateType.NOR:
+        return _not3(_or3(ins[0], ins[1]))
+    if gate_type is GateType.XOR:
+        return _xor3(ins[0], ins[1])
+    if gate_type is GateType.XNOR:
+        return _not3(_xor3(ins[0], ins[1]))
+    if gate_type is GateType.MUX:
+        return _mux3(ins[0], ins[1], ins[2])
+    raise AtpgError("unknown gate type {!r}".format(gate_type))
+
+
+_INVERTING = {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+
+
+@dataclass
+class AtpgResult:
+    """Outcome of an ATPG campaign.
+
+    Attributes:
+        patterns: the generated :class:`~repro.netlist.simulator.PatternSet`.
+        pattern_faults: per pattern, the list of faults it was generated for
+            or first-detected (random patterns list their dropped faults).
+        detected: faults detected by the campaign.
+        untestable: faults PODEM proved untestable (no test exists).
+        aborted: faults PODEM gave up on (backtrack limit).
+    """
+
+    patterns: PatternSet
+    pattern_faults: list
+    detected: list = field(default_factory=list)
+    untestable: list = field(default_factory=list)
+    aborted: list = field(default_factory=list)
+
+    def coverage(self, total):
+        return 100.0 * len(self.detected) / total if total else 0.0
+
+
+class PodemEngine:
+    """PODEM test generation for one netlist."""
+
+    def __init__(self, netlist, max_backtracks=500):
+        netlist.finalize()
+        self.netlist = netlist
+        self.max_backtracks = max_backtracks
+        self._po_set = set(netlist.outputs)
+        self._num_nets = netlist.num_nets
+        self._gates = netlist.levelized_gates
+
+    # -- composite-value implication ---------------------------------------
+
+    def _imply(self, pi_values, fault):
+        """Forward-simulate (good, faulty) values from *pi_values*.
+
+        Returns (good, faulty) dicts over all nets.
+        """
+        good = [X] * self._num_nets
+        faulty = [X] * self._num_nets
+        good[CONST0] = faulty[CONST0] = 0
+        good[CONST1] = faulty[CONST1] = 1
+        for net in self.netlist.inputs:
+            value = pi_values.get(net, X)
+            good[net] = value
+            faulty[net] = value
+        if fault.pin == OUTPUT_PIN and fault.gate is None:
+            faulty[fault.net] = fault.stuck_at
+        fault_gate = fault.gate if fault.pin != OUTPUT_PIN else None
+        stem_net = fault.net if fault.pin == OUTPUT_PIN else None
+        for gate in self._gates:
+            g_ins = tuple(good[n] for n in gate.inputs)
+            f_ins = tuple(faulty[n] for n in gate.inputs)
+            if fault_gate == gate.index:
+                f_ins = (f_ins[:fault.pin] + (fault.stuck_at,)
+                         + f_ins[fault.pin + 1:])
+            good[gate.output] = _eval3(gate.gate_type, g_ins)
+            if f_ins == g_ins and fault_gate != gate.index:
+                out_f = good[gate.output]
+            else:
+                out_f = _eval3(gate.gate_type, f_ins)
+            if stem_net == gate.output:
+                out_f = fault.stuck_at
+            faulty[gate.output] = out_f
+        return good, faulty
+
+    def _d_frontier(self, good, faulty, fault):
+        """Gates with an unknown output and a D/DB value on some input.
+
+        For input-pin faults the D sits on the faulted pin itself (the net
+        keeps its good value), so the faulted gate joins the frontier when
+        the pin's good value opposes the stuck value.
+        """
+        frontier = []
+        for gate in self._gates:
+            out = gate.output
+            if good[out] != X and faulty[out] != X:
+                continue
+            if (fault.pin != OUTPUT_PIN and fault.gate == gate.index
+                    and good[fault.net] == 1 - fault.stuck_at):
+                frontier.append(gate)
+                continue
+            for net in gate.inputs:
+                g_val = good[net]
+                if g_val != X and faulty[net] != X and g_val != faulty[net]:
+                    frontier.append(gate)
+                    break
+        return frontier
+
+    def _detected(self, good, faulty):
+        for net in self._po_set:
+            g_val, f_val = good[net], faulty[net]
+            if g_val != X and f_val != X and g_val != f_val:
+                return True
+        return False
+
+    # -- objective / backtrace -----------------------------------------------
+
+    def _objective(self, fault, good, faulty):
+        """Return (net, value) goal, or None when no useful objective."""
+        if good[fault.net] == X:
+            return fault.net, 1 - fault.stuck_at
+        frontier = self._d_frontier(good, faulty, fault)
+        if not frontier:
+            return None
+        gate = frontier[0]
+        controlling = CONTROLLING_VALUE.get(gate.gate_type)
+        noncontrolling = 1 - controlling if controlling is not None else 1
+        for net in gate.inputs:
+            if good[net] == X or faulty[net] == X:
+                return net, noncontrolling
+        return None
+
+    def _backtrace(self, net, value, good):
+        """Walk *net* back to an unassigned PI, tracking inversions."""
+        guard = 0
+        while True:
+            guard += 1
+            if guard > self.netlist.num_gates + 8:
+                raise AtpgError("backtrace did not reach a primary input")
+            driver_idx = self.netlist.driver_of(net)
+            if driver_idx is None:
+                return net, value
+            gate = self.netlist.gates[driver_idx]
+            if gate.gate_type in _INVERTING:
+                value = 1 - value if value != X else X
+            chosen = None
+            for candidate in gate.inputs:
+                if good[candidate] == X and candidate not in (CONST0, CONST1):
+                    chosen = candidate
+                    break
+            if chosen is None:
+                # All inputs assigned: pick the first non-constant anyway;
+                # imply() will expose the conflict and we backtrack.
+                for candidate in gate.inputs:
+                    if candidate not in (CONST0, CONST1):
+                        chosen = candidate
+                        break
+                if chosen is None:
+                    raise AtpgError("backtrace hit constant-only gate")
+            net = chosen
+
+    # -- main search -----------------------------------------------------------
+
+    def generate(self, fault):
+        """Generate a test cube for *fault*.
+
+        Returns:
+            (status, pi_values): status is "detected", "untestable", or
+            "aborted"; pi_values maps input nets to 0/1 for detected faults.
+        """
+        pi_values = {}
+        decisions = []  # [net, value, tried_other]
+        backtracks = 0
+
+        while True:
+            good, faulty = self._imply(pi_values, fault)
+            if self._detected(good, faulty):
+                return "detected", dict(pi_values)
+
+            failed = False
+            site_good = good[fault.net]
+            if site_good != X and site_good == fault.stuck_at:
+                failed = True  # fault can no longer be excited
+            elif site_good != X and not self._d_frontier(good, faulty,
+                                                          fault):
+                failed = True  # excited but nowhere to propagate
+
+            if not failed:
+                goal = self._objective(fault, good, faulty)
+                if goal is None:
+                    failed = True
+
+            if failed:
+                while decisions and decisions[-1][2]:
+                    net, __, __tried = decisions.pop()
+                    del pi_values[net]
+                if not decisions:
+                    return "untestable", {}
+                backtracks += 1
+                if backtracks > self.max_backtracks:
+                    return "aborted", {}
+                decisions[-1][1] = 1 - decisions[-1][1]
+                decisions[-1][2] = True
+                pi_values[decisions[-1][0]] = decisions[-1][1]
+                continue
+
+            net, value = goal
+            pi_net, pi_value = self._backtrace(net, value, good)
+            if pi_net in pi_values:
+                # Backtrace landed on an assigned PI (conflict path): flip
+                # the most recent decision instead of looping forever.
+                while decisions and decisions[-1][2]:
+                    top, __, __tried = decisions.pop()
+                    del pi_values[top]
+                if not decisions:
+                    return "untestable", {}
+                backtracks += 1
+                if backtracks > self.max_backtracks:
+                    return "aborted", {}
+                decisions[-1][1] = 1 - decisions[-1][1]
+                decisions[-1][2] = True
+                pi_values[decisions[-1][0]] = decisions[-1][1]
+                continue
+            if pi_value == X:
+                pi_value = 1
+            decisions.append([pi_net, pi_value, False])
+            pi_values[pi_net] = pi_value
+
+
+def run_atpg(module, seed=0, random_patterns=256, random_batch=32,
+             max_backtracks=500, fault_list=None, podem_fault_limit=None):
+    """Full ATPG campaign over a :class:`HardwareModule`.
+
+    Random-pattern phase with fault dropping, then PODEM on the remainder
+    (at most *podem_fault_limit* deterministic targets when set — the tail
+    stays uncovered, as with a bounded commercial ATPG effort).
+
+    Returns an :class:`AtpgResult` whose ``patterns`` are in generation
+    order and whose ``pattern_faults[k]`` lists the faults attributed to
+    pattern ``k`` (dropped by it in the random phase, or targeted by PODEM).
+    """
+    netlist = module.netlist
+    if fault_list is None:
+        fault_list = FaultList(netlist)
+    rng = random.Random(seed)
+    simulator = FaultSimulator(netlist)
+
+    patterns = PatternSet(netlist)
+    pattern_faults = []
+    remaining = fault_list
+    detected = []
+
+    emitted = 0
+    while emitted < random_patterns and len(remaining):
+        batch = PatternSet(netlist)
+        for __ in range(min(random_batch, random_patterns - emitted)):
+            batch.add({net: rng.getrandbits(1) for net in netlist.inputs})
+        result = simulator.run(batch, remaining)
+        newly = {}
+        for fault, first in zip(result.fault_list, result.first_detection):
+            if first is not None:
+                newly.setdefault(first, []).append(fault)
+        base = patterns.count
+        for k in range(batch.count):
+            patterns.add({net: batch.value_of(net, k)
+                          for net in netlist.inputs})
+            pattern_faults.append(newly.get(k, []))
+        del base
+        dropped = [f for group in newly.values() for f in group]
+        detected.extend(dropped)
+        remaining = remaining.without(dropped)
+        emitted += batch.count
+
+    engine = PodemEngine(netlist, max_backtracks=max_backtracks)
+    untestable, aborted = [], []
+    alive = set(remaining)
+    podem_targets = 0
+    for fault in list(remaining):
+        if fault not in alive:
+            continue  # dropped by an earlier PODEM pattern
+        if podem_fault_limit is not None and podem_targets >= (
+                podem_fault_limit):
+            break
+        podem_targets += 1
+        status, cube = engine.generate(fault)
+        if status == "untestable":
+            untestable.append(fault)
+            alive.discard(fault)
+            continue
+        if status == "aborted":
+            aborted.append(fault)
+            continue
+        assignment = {net: cube.get(net, rng.getrandbits(1))
+                      for net in netlist.inputs}
+        single = PatternSet(netlist)
+        single.add(assignment)
+        result = simulator.run(single, FaultList(netlist, sorted(alive, key=fault_sort_key)))
+        confirmed = [f for f, first in zip(result.fault_list,
+                                           result.first_detection)
+                     if first is not None]
+        if fault not in confirmed:
+            aborted.append(fault)
+            continue
+        patterns.add(assignment)
+        pattern_faults.append(confirmed)
+        detected.extend(confirmed)
+        alive.difference_update(confirmed)
+
+    return AtpgResult(patterns=patterns, pattern_faults=pattern_faults,
+                      detected=detected, untestable=untestable,
+                      aborted=aborted)

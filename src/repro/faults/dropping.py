@@ -1,0 +1,76 @@
+"""Cross-PTP fault dropping (the paper's *fault list report*).
+
+Several PTPs of an STL target the same GPU module.  The paper keeps one
+fault-list report per module, initially containing every fault; after each
+PTP's fault simulation the detected faults are removed, so the next PTP is
+simulated against the *remaining* faults only.  This is what makes the MEM
+PTP (compacted after IMM) compact harder than IMM, and what collapses the
+standalone FC of RAND (compacted after TPGEN) in Table III.
+"""
+
+from __future__ import annotations
+
+from ..errors import FaultSimError
+from .fault import FaultList
+
+
+class FaultListReport:
+    """Persistent per-module fault list with drop-on-detection updates."""
+
+    def __init__(self, netlist, collapse=True):
+        self.netlist = netlist
+        self.full_list = FaultList(netlist, collapse=collapse)
+        self.remaining = FaultList(netlist, list(self.full_list))
+        self._detected_by = {}  # fault -> label of the PTP that detected it
+
+    @property
+    def total_faults(self):
+        """Size of the original (never shrinking) fault list."""
+        return len(self.full_list)
+
+    @property
+    def remaining_faults(self):
+        return len(self.remaining)
+
+    @property
+    def detected_faults(self):
+        return self.total_faults - self.remaining_faults
+
+    def detected_by(self, fault):
+        """Label of the PTP that first detected *fault* (None if alive)."""
+        return self._detected_by.get(fault)
+
+    def drop(self, detected, label):
+        """Remove *detected* faults from the remaining list.
+
+        Args:
+            detected: iterable of faults reported detected by a simulation.
+            label: name of the PTP whose simulation detected them.
+
+        Returns:
+            Number of newly dropped faults.
+        """
+        detected = list(detected)
+        alive = {f for f in self.remaining}
+        unknown = [f for f in detected if f not in alive
+                   and f not in self._detected_by]
+        if unknown:
+            raise FaultSimError(
+                "{} detected fault(s) outside the fault list".format(
+                    len(unknown)))
+        new = [f for f in detected if f in alive]
+        for fault in new:
+            self._detected_by[fault] = label
+        self.remaining = self.remaining.without(new)
+        return len(new)
+
+    def coverage(self):
+        """Cumulative fault coverage (%) over the full module fault list."""
+        if self.total_faults == 0:
+            return 0.0
+        return 100.0 * self.detected_faults / self.total_faults
+
+    def reset(self):
+        """Restore the full fault list (new compaction campaign)."""
+        self.remaining = FaultList(self.netlist, list(self.full_list))
+        self._detected_by = {}

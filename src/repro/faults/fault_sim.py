@@ -1,0 +1,310 @@
+"""Bit-parallel single-stuck-at fault simulation with per-pattern records.
+
+This is the reproduction of the paper's "optimized GL fault simulation"
+(stage 3): the fault list belongs to ONE target module, observability is the
+module's outputs (module-level fault observability, [25] in the paper), and
+the simulator records, for every fault, the first pattern (= clock cycle)
+that detects it.  The per-pattern detection counts form the *Fault Sim
+Report* consumed by the instruction-labeling stage.
+
+All patterns are simulated at once per fault: net values are packed integers
+(bit ``k`` = value under pattern ``k``), so a fault's full detection word
+costs one traversal of its fanout cone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FaultSimError
+from ..netlist.gates import evaluate
+from ..netlist.simulator import LogicSimulator
+from .fault import OUTPUT_PIN, FaultList
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of one fault simulation run.
+
+    Attributes:
+        fault_list: the simulated :class:`~repro.faults.fault.FaultList`.
+        pattern_count: number of simulated patterns.
+        detection_words: per-fault packed detection word (bit ``k`` set when
+            pattern ``k`` propagates the fault to an observed output).
+        first_detection: per-fault index of the first detecting pattern, or
+            None when undetected.
+    """
+
+    fault_list: FaultList
+    pattern_count: int
+    detection_words: list
+    first_detection: list
+
+    @property
+    def detected_faults(self):
+        """List of detected :class:`~repro.faults.fault.StuckAtFault`."""
+        return [f for f, first in zip(self.fault_list, self.first_detection)
+                if first is not None]
+
+    @property
+    def undetected_faults(self):
+        return [f for f, first in zip(self.fault_list, self.first_detection)
+                if first is None]
+
+    @property
+    def num_detected(self):
+        return sum(1 for first in self.first_detection if first is not None)
+
+    def coverage(self, total=None):
+        """Fault coverage in percent (against *total* or the list size)."""
+        denom = total if total is not None else len(self.fault_list)
+        if denom == 0:
+            return 0.0
+        return 100.0 * self.num_detected / denom
+
+    def detections_per_pattern(self, dropping=True):
+        """Number of faults detected at each pattern index.
+
+        With *dropping* (the paper's configuration), each fault is counted
+        only at its first detecting pattern; otherwise at every detecting
+        pattern.
+        """
+        counts = [0] * self.pattern_count
+        if dropping:
+            for first in self.first_detection:
+                if first is not None:
+                    counts[first] += 1
+        else:
+            for word in self.detection_words:
+                while word:
+                    low = word & -word
+                    counts[low.bit_length() - 1] += 1
+                    word ^= low
+        return counts
+
+    def detecting_patterns(self, dropping=True):
+        """Set of pattern indices that detect at least one fault."""
+        if dropping:
+            return {first for first in self.first_detection
+                    if first is not None}
+        hits = set()
+        for word in self.detection_words:
+            while word:
+                low = word & -word
+                hits.add(low.bit_length() - 1)
+                word ^= low
+        return hits
+
+
+class FaultSimulator:
+    """Module-level stuck-at fault simulator.
+
+    Args:
+        netlist: finalized target-module netlist.
+        observed_outputs: optional subset of output nets used as the
+            observation point; defaults to all primary outputs
+            (module-level observability).
+    """
+
+    def __init__(self, netlist, observed_outputs=None):
+        netlist.finalize()
+        self.netlist = netlist
+        if observed_outputs is None:
+            observed_outputs = list(netlist.outputs)
+        unknown = [n for n in observed_outputs if n not in set(
+            netlist.outputs)]
+        if unknown:
+            raise FaultSimError("observed nets {} are not outputs"
+                                .format(unknown))
+        self.observed = list(observed_outputs)
+        self._logic = LogicSimulator(netlist)
+        self._cone_cache = {}
+        # Structure-of-arrays view of gates for the hot loop.
+        self._gate_type = [g.gate_type for g in netlist.gates]
+        self._gate_inputs = [g.inputs for g in netlist.gates]
+        self._gate_output = [g.output for g in netlist.gates]
+
+    def _cone(self, net):
+        cone = self._cone_cache.get(net)
+        if cone is None:
+            cone = self.netlist.cone_from_net(net)
+            self._cone_cache[net] = cone
+        return cone
+
+    def run(self, patterns, fault_list=None):
+        """Simulate *fault_list* (default: full collapsed list) over
+        *patterns* and return a :class:`FaultSimResult`."""
+        if fault_list is None:
+            fault_list = FaultList(self.netlist)
+        if patterns.count == 0:
+            empty = [0] * len(fault_list)
+            return FaultSimResult(fault_list, 0, empty,
+                                  [None] * len(fault_list))
+        mask = patterns.mask
+        good = self._logic.run(patterns)
+        observed_set = set(self.observed)
+
+        detection_words = []
+        first_detection = []
+        for fault in fault_list:
+            word = self._simulate_fault(fault, good, mask, observed_set)
+            detection_words.append(word)
+            if word:
+                first_detection.append((word & -word).bit_length() - 1)
+            else:
+                first_detection.append(None)
+        return FaultSimResult(fault_list, patterns.count, detection_words,
+                              first_detection)
+
+    def run_signature(self, patterns, fault_list, result_word,
+                      thread_sequences, misr_width=None):
+        """Fault simulation under signature-per-thread (SpT) observability.
+
+        A fault is detected when, for at least one thread, the MISR fold of
+        its per-pattern *result_word* differences is non-zero at the end of
+        the thread's update sequence (``sig = rotl(sig, 1) ^ result``; by
+        XOR linearity the final-signature difference is the rotation-fold
+        of the per-step result differences).  Faults whose differences
+        cancel in the fold *alias* and go undetected — the mechanism behind
+        the paper's SP-core FC deltas.
+
+        Args:
+            patterns: the PTP's pattern set, in application order.
+            fault_list: faults to simulate.
+            result_word: net list (LSB first) of the module's result bus.
+            thread_sequences: {thread_key: ordered pattern index list} from
+                :meth:`PatternReport.thread_sequences`.
+            misr_width: signature width (default: len(result_word)).
+
+        Returns:
+            (result, signature_detected): the module-output
+            :class:`FaultSimResult` plus a per-fault bool list of SpT
+            detectability.
+        """
+        width = misr_width or len(result_word)
+        mask = patterns.mask
+        good = self._logic.run(patterns)
+        observed_set = set(self.observed)
+
+        # Per-thread rotation-class masks: pattern at position p of an
+        # n-long sequence is rotated by (n - 1 - p) mod width in the fold.
+        class_masks = {}
+        thread_masks = {}
+        for key, sequence in thread_sequences.items():
+            classes = [0] * width
+            total = 0
+            n = len(sequence)
+            for position, k in enumerate(sequence):
+                rotation = (n - 1 - position) % width
+                classes[rotation] |= 1 << k
+                total |= 1 << k
+            class_masks[key] = classes
+            thread_masks[key] = total
+
+        word_mask = (1 << width) - 1
+        detection_words = []
+        first_detection = []
+        signature_detected = []
+        for fault in fault_list:
+            changed = self._propagate_fault(fault, good, mask)
+            word = 0
+            for net, value in changed.items():
+                if net in observed_set:
+                    word |= value ^ good[net]
+            detection_words.append(word)
+            first_detection.append((word & -word).bit_length() - 1
+                                   if word else None)
+
+            diffs = [(i, changed[net] ^ good[net])
+                     for i, net in enumerate(result_word)
+                     if net in changed and changed[net] != good[net]]
+            detected = False
+            if diffs:
+                union = 0
+                for __, diff in diffs:
+                    union |= diff
+                for key, classes in class_masks.items():
+                    if union & thread_masks[key] == 0:
+                        continue
+                    total = 0
+                    for rotation in range(width):
+                        class_mask = classes[rotation]
+                        if class_mask == 0 or union & class_mask == 0:
+                            continue
+                        value = 0
+                        for i, diff in diffs:
+                            overlap = diff & class_mask
+                            if overlap and _parity(overlap):
+                                value |= 1 << i
+                        if value:
+                            rotated = ((value << rotation) |
+                                       (value >> (width - rotation))
+                                       ) & word_mask if rotation else value
+                            total ^= rotated
+                    if total:
+                        detected = True
+                        break
+            signature_detected.append(detected)
+        result = FaultSimResult(fault_list, patterns.count, detection_words,
+                                first_detection)
+        return result, signature_detected
+
+    # -- single-fault propagation ------------------------------------------
+
+    def _simulate_fault(self, fault, good, mask, observed_set):
+        changed = self._propagate_fault(fault, good, mask)
+        word = 0
+        for net, value in changed.items():
+            if net in observed_set:
+                word |= value ^ good[net]
+        return word
+
+    def _propagate_fault(self, fault, good, mask):
+        """Propagate *fault* through its cone; returns {net: faulty_value}
+        for every net whose packed value differs from the good machine."""
+        stuck_word = mask if fault.stuck_at else 0
+        changed = {}
+        gate_type = self._gate_type
+        gate_inputs = self._gate_inputs
+        gate_output = self._gate_output
+
+        if fault.pin == OUTPUT_PIN:
+            if stuck_word == good[fault.net]:
+                return changed
+            changed[fault.net] = stuck_word
+            cone = self._cone(fault.net)
+        else:
+            # Input-pin fault: only this gate sees the stuck value.
+            g = fault.gate
+            ins = list(gate_inputs[g])
+            values = [good[n] for n in ins]
+            values[fault.pin] = stuck_word
+            out = evaluate(gate_type[g], tuple(values), mask)
+            out_net = gate_output[g]
+            if out == good[out_net]:
+                return changed
+            changed[out_net] = out
+            cone = self._cone(out_net)
+
+        for g in cone:
+            ins = gate_inputs[g]
+            hit = False
+            for n in ins:
+                if n in changed:
+                    hit = True
+                    break
+            if not hit:
+                continue
+            values = tuple(changed.get(n, good[n]) for n in ins)
+            out = evaluate(gate_type[g], values, mask)
+            out_net = gate_output[g]
+            if out != good[out_net]:
+                changed[out_net] = out
+            elif out_net in changed:
+                del changed[out_net]
+        return changed
+
+
+def _parity(value):
+    """Parity (XOR reduction) of the set bits of *value*."""
+    return value.bit_count() & 1

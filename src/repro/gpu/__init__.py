@@ -1,0 +1,27 @@
+"""Cycle-level FlexGripPlus-class GPU model (the RTL-simulation substrate).
+
+This package replaces the paper's VHDL FlexGripPlus model plus RTL logic
+simulator: a SIMT GPU with one SM, 8 SP cores, 2 SFUs, a 5-stage pipeline
+timing model, SIMT divergence stack, and a non-intrusive tracing monitor
+producing the per-cc tracing report and per-module test-pattern streams the
+compaction method consumes.
+"""
+
+from .config import GpuConfig, KernelConfig, WARP_SIZE
+from .gpu import Gpu, KernelResult
+from .memory import MemorySystem, WordMemory
+from .monitor import Monitor
+from .regfile import RegisterFile
+from .simt_stack import SimtStack
+from .sm import SM, WarpState
+from .stimuli import (DecoderUnitCollector, SfuCollector, SpCoreCollector,
+                      StimulusCollector, StimulusRecord)
+from .trace import TraceRecord, parse_trace_report, write_trace_report
+
+__all__ = [
+    "Gpu", "GpuConfig", "KernelConfig", "KernelResult", "WARP_SIZE",
+    "MemorySystem", "WordMemory", "RegisterFile", "SimtStack", "SM",
+    "WarpState", "Monitor", "TraceRecord", "write_trace_report",
+    "parse_trace_report", "StimulusCollector", "StimulusRecord",
+    "DecoderUnitCollector", "SpCoreCollector", "SfuCollector",
+]

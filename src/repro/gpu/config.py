@@ -1,0 +1,79 @@
+"""Configuration objects for the FlexGripPlus-class GPU model.
+
+The paper's evaluation configures FlexGripPlus with one SM and 8 SP cores
+(Section IV); those are the defaults here.  The model keeps FlexGripPlus's
+flexibility of choosing 8, 16, or 32 execution units per SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import KernelLaunchError
+
+#: Threads per warp (NVIDIA G80 and FlexGripPlus).
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Static hardware configuration of the GPU model.
+
+    Attributes:
+        num_sms: number of streaming multiprocessors.
+        num_sps: SP cores per SM (FlexGripPlus allows 8, 16, or 32).
+        num_sfus: Special Function Units per SM.
+        shared_mem_words: 32-bit words of shared memory per SM.
+        const_mem_words: 32-bit words of constant memory.
+        global_latency: extra cycles charged per global-memory beat.
+        pipeline_overhead: cycles charged per instruction for the
+            fetch/decode/read/write stages of the 5-stage pipeline.
+    """
+
+    num_sms: int = 1
+    num_sps: int = 8
+    num_sfus: int = 2
+    shared_mem_words: int = 4096
+    const_mem_words: int = 2048
+    global_latency: int = 4
+    pipeline_overhead: int = 4
+
+    def __post_init__(self):
+        if self.num_sps not in (8, 16, 32):
+            raise KernelLaunchError(
+                "FlexGripPlus supports 8, 16, or 32 SPs; got {}".format(
+                    self.num_sps))
+        if self.num_sms < 1 or self.num_sfus < 1:
+            raise KernelLaunchError("need at least one SM and one SFU")
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """One kernel launch: grid/block geometry plus constant-bank contents.
+
+    Attributes:
+        grid_blocks: number of thread blocks (CTAs).
+        block_threads: threads per block (multiple of the warp size keeps
+            masks simple; ragged tails are allowed).
+        const_words: constant memory image, word index -> value.
+    """
+
+    grid_blocks: int = 1
+    block_threads: int = WARP_SIZE
+    const_words: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.grid_blocks < 1:
+            raise KernelLaunchError("grid must have at least one block")
+        if self.block_threads < 1:
+            raise KernelLaunchError("block must have at least one thread")
+        if self.block_threads > 1024:
+            raise KernelLaunchError("at most 1024 threads per block")
+
+    @property
+    def warps_per_block(self):
+        return -(-self.block_threads // WARP_SIZE)
+
+    @property
+    def total_threads(self):
+        return self.grid_blocks * self.block_threads

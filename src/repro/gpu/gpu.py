@@ -1,0 +1,87 @@
+"""Top-level GPU model: block dispatch and kernel execution.
+
+A :class:`Gpu` owns the static configuration; :meth:`Gpu.run_kernel`
+dispatches the grid's blocks to the SM(s) — the paper's configuration has a
+single SM, so blocks run back-to-back — and returns a :class:`KernelResult`
+with the duration in clock cycles, the final memory images, the tracing
+report, and the per-module stimulus streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import GpuConfig, KernelConfig
+from .memory import MemorySystem
+from .monitor import Monitor
+from .regfile import RegisterFile
+from .sm import SM
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel execution.
+
+    Attributes:
+        cycles: total duration in clock cycles.
+        instructions: dynamically executed instruction count (per warp).
+        global_memory: final global-memory image (address -> word).
+        trace: list of :class:`~repro.gpu.trace.TraceRecord`.
+        stimuli: module name -> list of
+            :class:`~repro.gpu.stimuli.StimulusRecord`, in cc order.
+    """
+
+    cycles: int
+    instructions: int
+    global_memory: dict
+    trace: list = field(default_factory=list)
+    stimuli: dict = field(default_factory=dict)
+
+
+class Gpu:
+    """The FlexGripPlus-class GPU model."""
+
+    def __init__(self, config=None):
+        self.config = config or GpuConfig()
+
+    def run_kernel(self, program, kernel=None, collectors=(),
+                   global_image=None, max_instructions=20_000_000):
+        """Execute *program* under *kernel* configuration.
+
+        Args:
+            program: a :class:`~repro.isa.instruction.Program` or a plain
+                instruction list.
+            kernel: a :class:`~repro.gpu.config.KernelConfig`
+                (default: 1 block x 32 threads).
+            collectors: stimulus collectors to attach to the monitor.
+            global_image: initial global memory contents.
+            max_instructions: runaway-kernel guard per block.
+
+        Returns:
+            A :class:`KernelResult`.
+        """
+        kernel = kernel or KernelConfig()
+        instructions = list(program)
+        monitor = Monitor(collectors)
+        memsys = MemorySystem(self.config, kernel.const_words)
+        if global_image:
+            memsys.global_mem.preload(global_image)
+
+        cycle = 0
+        executed = 0
+        for block in range(kernel.grid_blocks):
+            regfile = RegisterFile(kernel.block_threads)
+            sm = SM(self.config, instructions, block, kernel.block_threads,
+                    kernel.grid_blocks, regfile, memsys, monitor,
+                    start_cycle=cycle, max_instructions=max_instructions)
+            cycle = sm.run()
+            executed += sm.instructions_executed
+
+        stimuli = monitor.finish()
+        return KernelResult(
+            cycles=cycle,
+            instructions=executed,
+            global_memory=memsys.global_mem.snapshot(),
+            trace=monitor.trace,
+            stimuli=stimuli,
+        )

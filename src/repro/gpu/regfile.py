@@ -1,0 +1,44 @@
+"""General Purpose Register File (GPRF) and predicate file of one block.
+
+Registers are per-thread: ``read(reg, tid)`` / ``write(reg, tid, value)``.
+All values are 32-bit unsigned words (two's-complement semantics live in the
+functional unit models).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..isa.instruction import NUM_PREDS, NUM_REGS
+
+MASK32 = 0xFFFFFFFF
+
+
+class RegisterFile:
+    """Per-thread GPRs and predicate registers for one thread block."""
+
+    def __init__(self, num_threads):
+        if num_threads < 1:
+            raise SimulationError("register file needs at least one thread")
+        self.num_threads = num_threads
+        self._regs = [[0] * NUM_REGS for __ in range(num_threads)]
+        self._preds = [[False] * NUM_PREDS for __ in range(num_threads)]
+
+    def _check_thread(self, tid):
+        if not 0 <= tid < self.num_threads:
+            raise SimulationError("thread id {} out of range".format(tid))
+
+    def read(self, reg, tid):
+        self._check_thread(tid)
+        return self._regs[tid][reg]
+
+    def write(self, reg, tid, value):
+        self._check_thread(tid)
+        self._regs[tid][reg] = value & MASK32
+
+    def read_pred(self, pred, tid):
+        self._check_thread(tid)
+        return self._preds[tid][pred]
+
+    def write_pred(self, pred, tid, value):
+        self._check_thread(tid)
+        self._preds[tid][pred] = bool(value)

@@ -1,0 +1,67 @@
+"""SIMT divergence stack (G80-style SSY / divergent-branch / JOIN).
+
+Divergence protocol implemented by the SM:
+
+* ``SSY target`` pushes a SYNC entry capturing the current active mask; the
+  *target* is the reconvergence point and must hold a ``JOIN``.
+* A divergent ``@P BRA`` pushes a DIV entry holding the fall-through path
+  (pc+1) and its mask, then continues on the taken path with the taken mask.
+* ``JOIN`` pops: a DIV entry switches execution to the stored path/mask; a
+  SYNC entry restores the captured mask and falls through.
+
+Both diverged paths must reach the ``JOIN`` at the SSY target (the taken
+path branching to it, the fall-through path flowing into it), mirroring how
+FlexGripPlus reconverges warps.  The paper's CNTRL PTP exercises exactly
+this machinery on the Decoder Unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+SYNC = "sync"
+DIV = "div"
+
+
+@dataclass
+class StackEntry:
+    kind: str          # SYNC or DIV
+    pc: int            # reconvergence pc (SYNC) / pending path pc (DIV)
+    mask: int          # active mask to restore / to run the pending path
+
+
+class SimtStack:
+    """Per-warp divergence stack."""
+
+    def __init__(self, max_depth=32):
+        self.entries = []
+        self.max_depth = max_depth
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def depth(self):
+        return len(self.entries)
+
+    def push_sync(self, reconv_pc, mask):
+        self._push(StackEntry(SYNC, reconv_pc, mask))
+
+    def push_div(self, pending_pc, mask):
+        self._push(StackEntry(DIV, pending_pc, mask))
+
+    def _push(self, entry):
+        if len(self.entries) >= self.max_depth:
+            raise SimulationError("SIMT stack overflow (depth {})".format(
+                self.max_depth))
+        self.entries.append(entry)
+
+    def pop(self):
+        if not self.entries:
+            raise SimulationError("JOIN with empty SIMT stack")
+        return self.entries.pop()
+
+    def peek(self):
+        return self.entries[-1] if self.entries else None

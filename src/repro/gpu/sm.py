@@ -1,0 +1,311 @@
+"""Streaming Multiprocessor: the cycle-level SIMT execution engine.
+
+One SM executes one thread block at a time.  Warps are scheduled round-robin
+at instruction granularity through the 5-stage pipeline (fetch, decode,
+read, execute, write); the execute stage processes the warp's 32 threads in
+beats of ``num_sps`` lanes (4 beats for the paper's 8-SP configuration).
+
+The timing model charges, per instruction and warp::
+
+    pipeline_overhead + beats * opcode_latency (+ global_latency per beat
+                                                 for global memory accesses)
+
+which preserves the quantities the compaction method consumes — per-cc
+instruction attribution and total kernel duration in clock cycles — without
+modeling stage overlap (FlexGripPlus keeps one warp in flight per SM, so
+instruction-serial timing is the faithful abstraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..isa.opcodes import Op, SpecialReg, Unit, info
+from . import functional
+from .config import WARP_SIZE
+from .simt_stack import DIV, SYNC, SimtStack
+
+
+@dataclass
+class WarpState:
+    """Architectural state of one warp."""
+
+    warp_id: int
+    pc: int = 0
+    active_mask: int = 0
+    done: bool = False
+    at_barrier: bool = False
+    stack: SimtStack = field(default_factory=SimtStack)
+    call_stack: list = field(default_factory=list)
+
+
+class SM:
+    """Executes one block of a kernel program."""
+
+    def __init__(self, config, program, block_id, block_threads, grid_blocks,
+                 regfile, memsys, monitor, start_cycle=0,
+                 max_instructions=20_000_000):
+        self.config = config
+        self.program = program
+        self.block_id = block_id
+        self.block_threads = block_threads
+        self.grid_blocks = grid_blocks
+        self.regfile = regfile
+        self.memsys = memsys
+        self.monitor = monitor
+        self.cycle = start_cycle
+        self.max_instructions = max_instructions
+        self.instructions_executed = 0
+
+        num_warps = -(-block_threads // WARP_SIZE)
+        self.warps = []
+        for w in range(num_warps):
+            threads = min(WARP_SIZE, block_threads - w * WARP_SIZE)
+            self.warps.append(WarpState(warp_id=w,
+                                        active_mask=(1 << threads) - 1))
+
+    # -- operand / predicate helpers ------------------------------------------
+
+    def _thread_id(self, warp, lane):
+        return warp.warp_id * WARP_SIZE + lane
+
+    def _guard_mask(self, instr, warp):
+        """Lanes whose predicate guard allows execution."""
+        if instr.pred is None:
+            return warp.active_mask
+        mask = 0
+        for lane in self._lanes(warp.active_mask):
+            tid = self._thread_id(warp, lane)
+            value = self.regfile.read_pred(instr.pred.index, tid)
+            if value != instr.pred.negate:
+                mask |= 1 << lane
+        return mask
+
+    @staticmethod
+    def _lanes(mask):
+        lane = 0
+        while mask:
+            if mask & 1:
+                yield lane
+            mask >>= 1
+            lane += 1
+
+    def _operands(self, instr, tid, lane, warp):
+        """Resolve (a, b, c) source words for one thread."""
+        read = self.regfile.read
+        op = instr.op
+        a = b = c = 0
+        fmt = instr.fmt.name
+        if op is Op.MOV32I:
+            b = instr.imm
+        elif op is Op.S2R:
+            a = self._special_reg(instr.sreg, tid, warp, lane)
+        elif op is Op.SEL:
+            sel = self.regfile.read_pred(instr.src_c, tid)
+            a = read(instr.src_a, tid) if sel else read(instr.src_b, tid)
+        elif fmt == "RRI32":
+            a = read(instr.src_a, tid)
+            b = instr.imm
+        elif fmt in ("RRR", "RRC", "PRC"):
+            a = read(instr.src_a, tid)
+            b = read(instr.src_b, tid)
+        elif fmt == "RRRR":
+            a = read(instr.src_a, tid)
+            b = read(instr.src_b, tid)
+            c = read(instr.src_c, tid)
+        elif fmt == "RR":
+            a = read(instr.src_a, tid)
+        elif fmt in ("LD", "ST"):
+            a = read(instr.src_a, tid)
+            if fmt == "ST":
+                b = read(instr.src_b, tid)
+        elif fmt == "CONSTLD":
+            a = instr.imm
+        return a, b, c
+
+    def _special_reg(self, sreg, tid, warp, lane):
+        if sreg is SpecialReg.TID_X:
+            return tid
+        if sreg is SpecialReg.NTID_X:
+            return self.block_threads
+        if sreg is SpecialReg.CTAID_X:
+            return self.block_id
+        if sreg is SpecialReg.NCTAID_X:
+            return self.grid_blocks
+        if sreg is SpecialReg.LANEID:
+            return lane
+        if sreg is SpecialReg.WARPID:
+            return warp.warp_id
+        raise SimulationError("unknown special register {!r}".format(sreg))
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self):
+        """Execute the block to completion; returns the final cycle count."""
+        while True:
+            runnable = [w for w in self.warps if not w.done]
+            if not runnable:
+                return self.cycle
+            progressed = False
+            for warp in self.warps:
+                if warp.done or warp.at_barrier:
+                    continue
+                self._step(warp)
+                progressed = True
+            waiting = [w for w in runnable if w.at_barrier]
+            if waiting and all(w.at_barrier or w.done for w in self.warps):
+                for w in waiting:
+                    w.at_barrier = False
+                progressed = True
+            if not progressed:
+                raise SimulationError(
+                    "deadlock: no runnable warp in block {}".format(
+                        self.block_id))
+
+    # -- single instruction -----------------------------------------------------
+
+    def _step(self, warp):
+        if not 0 <= warp.pc < len(self.program):
+            raise SimulationError("warp {} pc {} out of program".format(
+                warp.warp_id, warp.pc))
+        self.instructions_executed += 1
+        if self.instructions_executed > self.max_instructions:
+            raise SimulationError("instruction budget exceeded "
+                                  "(runaway kernel?)")
+        pc = warp.pc
+        instr = self.program[pc]
+        opinfo = info(instr.op)
+
+        fetch_cc = self.cycle
+        decode_cc = fetch_cc + 1
+        self.monitor.on_decode(decode_cc, self.block_id, warp.warp_id, pc,
+                               instr)
+
+        exec_mask = self._guard_mask(instr, warp)
+
+        lanes_per_beat = (self.config.num_sfus
+                          if opinfo.unit is Unit.SFU else self.config.num_sps)
+        # Lanes map to beats positionally (lane L runs in beat L // width),
+        # so the beat count is set by the highest active lane.
+        if opinfo.unit is Unit.CTRL or exec_mask == 0:
+            beats = 1
+        else:
+            highest_lane = exec_mask.bit_length() - 1
+            beats = highest_lane // lanes_per_beat + 1
+        beat_cost = opinfo.latency
+        if opinfo.unit is Unit.MEM and instr.op in (Op.GLD, Op.GST):
+            beat_cost += self.config.global_latency
+        exec_start = fetch_cc + 3  # after fetch, decode, read stages
+        exec_end = exec_start + beats * beat_cost - 1
+        total_cycles = self.config.pipeline_overhead + beats * beat_cost
+
+        self._execute(instr, warp, exec_mask, exec_start, beat_cost,
+                      lanes_per_beat)
+
+        self.monitor.on_instruction_done(
+            self.block_id, warp.warp_id, pc, instr, decode_cc, exec_start,
+            exec_end, warp.active_mask, exec_mask)
+        self.cycle += total_cycles
+
+    def _execute(self, instr, warp, exec_mask, exec_start, beat_cost,
+                 lanes_per_beat):
+        op = instr.op
+        unit = info(instr.op).unit
+
+        if unit is Unit.CTRL:
+            self._execute_control(instr, warp, exec_mask)
+            return
+
+        next_pc = warp.pc + 1
+        # Assign beats by lane groups: lane L executes in beat L // width.
+        for lane in self._lanes(exec_mask):
+            tid = self._thread_id(warp, lane)
+            beat = lane // lanes_per_beat
+            beat_cc = exec_start + beat * beat_cost
+            operands = self._operands(instr, tid, lane, warp)
+            self.monitor.on_execute_beat(beat_cc, self.block_id,
+                                         warp.warp_id, lane % lanes_per_beat,
+                                         warp.pc, instr, operands, tid)
+            self._retire_thread(instr, tid, operands)
+        warp.pc = next_pc
+
+    def _retire_thread(self, instr, tid, operands):
+        op = instr.op
+        a, b, c = operands
+        if op in (Op.GLD, Op.SLD):
+            space = self.memsys.global_mem if op is Op.GLD else (
+                self.memsys.shared)
+            value = space.load(a + instr.imm)
+            self.regfile.write(instr.dst, tid, value)
+        elif op in (Op.GST, Op.SST):
+            space = self.memsys.global_mem if op is Op.GST else (
+                self.memsys.shared)
+            space.store(a + instr.imm, b)
+        elif op is Op.CLD:
+            self.regfile.write(instr.dst, tid,
+                               self.memsys.constant.load(instr.imm))
+        elif op is Op.SEL or op is Op.S2R:
+            self.regfile.write(instr.dst, tid, a)
+        elif op is Op.ISETP:
+            __, pred = functional.execute_arith(instr, a, b, c, instr.cmp)
+            self.regfile.write_pred(instr.dst, tid, pred)
+        else:
+            result, pred = functional.execute_arith(instr, a, b, c,
+                                                    instr.cmp)
+            if info(op).writes_reg:
+                self.regfile.write(instr.dst, tid, result)
+
+    # -- control flow ---------------------------------------------------------------
+
+    def _execute_control(self, instr, warp, exec_mask):
+        op = instr.op
+        if op is Op.NOP:
+            warp.pc += 1
+        elif op is Op.EXIT:
+            warp.done = True
+        elif op is Op.BAR:
+            warp.at_barrier = True
+            warp.pc += 1
+        elif op is Op.SSY:
+            warp.stack.push_sync(instr.target, warp.active_mask)
+            warp.pc += 1
+        elif op is Op.JOIN:
+            self._execute_join(warp)
+        elif op is Op.CAL:
+            warp.call_stack.append(warp.pc + 1)
+            warp.pc = instr.target
+        elif op is Op.RET:
+            if not warp.call_stack:
+                raise SimulationError("RET with empty call stack")
+            warp.pc = warp.call_stack.pop()
+        elif op is Op.BRA:
+            self._execute_branch(instr, warp, exec_mask)
+        else:  # pragma: no cover - exhaustive over CTRL ops
+            raise SimulationError("unhandled control op {}".format(op))
+
+    def _execute_branch(self, instr, warp, exec_mask):
+        taken = exec_mask
+        not_taken = warp.active_mask & ~exec_mask
+        if not_taken == 0:
+            warp.pc = instr.target
+        elif taken == 0:
+            warp.pc += 1
+        else:
+            # Divergence: run the taken path first; park the fall-through.
+            warp.stack.push_div(warp.pc + 1, not_taken)
+            warp.active_mask = taken
+            warp.pc = instr.target
+
+    def _execute_join(self, warp):
+        entry = warp.stack.pop()
+        if entry.kind == DIV:
+            # Switch to the parked fall-through path; the JOIN will run
+            # again when that path reaches it.
+            warp.active_mask = entry.mask
+            warp.pc = entry.pc
+        elif entry.kind == SYNC:
+            warp.active_mask = entry.mask
+            warp.pc += 1
+        else:  # pragma: no cover
+            raise SimulationError("corrupt SIMT stack entry")

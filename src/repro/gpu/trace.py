@@ -1,0 +1,78 @@
+"""Trace records produced by the hardware monitor during logic simulation.
+
+The paper's RTL logic simulation embeds a non-intrusive hardware monitor in
+one SM; it captures, per clock cycle, the decoded instruction, the program
+counter, the executing warp, and the cycle value (Section III stage 2).
+Our cycle-level simulator produces the same information as a list of
+:class:`TraceRecord` (one per executed instruction per warp, holding its
+cycle span) plus a text rendering that matches the paper's text-file
+interchange format and round-trips through :func:`parse_trace_report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReportError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instruction execution by one warp.
+
+    Attributes:
+        block: block (CTA) index.
+        warp: warp index within the block.
+        pc: program counter (instruction index).
+        mnemonic: decoded instruction mnemonic.
+        decode_cc: clock cycle at which the DU decodes the instruction.
+        exec_start_cc / exec_end_cc: inclusive execute-stage cycle span.
+        active_mask: warp lanes active at issue.
+        exec_mask: lanes that actually executed (active & predicate guard).
+    """
+
+    block: int
+    warp: int
+    pc: int
+    mnemonic: str
+    decode_cc: int
+    exec_start_cc: int
+    exec_end_cc: int
+    active_mask: int
+    exec_mask: int
+
+
+_HEADER = ("#block warp pc mnemonic decode_cc exec_start_cc exec_end_cc "
+           "active_mask exec_mask")
+
+
+def write_trace_report(records):
+    """Render *records* as the text tracing report."""
+    lines = [_HEADER]
+    for r in records:
+        lines.append("{} {} {} {} {} {} {} 0x{:08X} 0x{:08X}".format(
+            r.block, r.warp, r.pc, r.mnemonic, r.decode_cc, r.exec_start_cc,
+            r.exec_end_cc, r.active_mask, r.exec_mask))
+    return "\n".join(lines) + "\n"
+
+
+def parse_trace_report(text):
+    """Parse a text tracing report back into :class:`TraceRecord` objects."""
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 9:
+            raise ReportError("trace line {}: expected 9 fields, got {}"
+                              .format(lineno, len(parts)))
+        try:
+            records.append(TraceRecord(
+                block=int(parts[0]), warp=int(parts[1]), pc=int(parts[2]),
+                mnemonic=parts[3], decode_cc=int(parts[4]),
+                exec_start_cc=int(parts[5]), exec_end_cc=int(parts[6]),
+                active_mask=int(parts[7], 16), exec_mask=int(parts[8], 16)))
+        except ValueError as exc:
+            raise ReportError("trace line {}: {}".format(lineno, exc))
+    return records

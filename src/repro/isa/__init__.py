@@ -1,0 +1,36 @@
+"""SASS-like ISA for the FlexGripPlus-class GPU model.
+
+Public surface:
+
+* :class:`~repro.isa.opcodes.Op`, :class:`~repro.isa.opcodes.CmpOp`,
+  :class:`~repro.isa.opcodes.SpecialReg`, :class:`~repro.isa.opcodes.Unit` —
+  opcode enumeration and metadata.
+* :class:`~repro.isa.instruction.Instruction`,
+  :class:`~repro.isa.instruction.Pred`,
+  :class:`~repro.isa.instruction.Program` — the machine-instruction model.
+* :func:`~repro.isa.assembler.assemble` /
+  :func:`~repro.isa.disassembler.disassemble` — text <-> instructions.
+* :func:`~repro.isa.encoding.encode` / :func:`~repro.isa.encoding.decode` —
+  instructions <-> 64-bit words (the Decoder Unit's input patterns).
+"""
+
+from .assembler import assemble
+from .disassembler import disassemble, format_instruction
+from .encoding import (WORD_BITS, bits_to_word, decode, decode_program,
+                       encode, encode_program, word_to_bits)
+from .instruction import (IMM24_MAX, MASK32, NUM_PREDS, NUM_REGS, Instruction,
+                          Pred, Program)
+from .opcodes import (CmpOp, Fmt, NUM_OPCODES, Op, OpcodeInfo, SpecialReg,
+                      Unit, info, is_branch, is_control, is_immediate_form,
+                      is_memory, unit_of)
+
+__all__ = [
+    "assemble", "disassemble", "format_instruction",
+    "encode", "decode", "encode_program", "decode_program",
+    "word_to_bits", "bits_to_word", "WORD_BITS",
+    "Instruction", "Pred", "Program",
+    "NUM_REGS", "NUM_PREDS", "MASK32", "IMM24_MAX",
+    "Op", "OpcodeInfo", "CmpOp", "SpecialReg", "Unit", "Fmt", "NUM_OPCODES",
+    "info", "unit_of", "is_branch", "is_control", "is_memory",
+    "is_immediate_form",
+]

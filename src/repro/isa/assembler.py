@@ -1,0 +1,248 @@
+"""Two-pass assembler for the SASS-like textual assembly syntax.
+
+Syntax by example::
+
+    ; a comment
+    loop:                       ; labels end with ':'
+    @P0  IADD   R1, R2, R3      ; optional @Pn / @!Pn guard
+         MOV32I R4, 0xDEADBEEF
+         ISETP  P0, R1, R4, LT
+         ISET   R5, R1, R4, GE
+         SEL    R6, P0, R1, R4
+         S2R    R7, TID_X
+         GLD    R8, [R7+0x10]
+         GST    [R7+0x10], R8
+         CLD    R9, c[0x4]
+         IMAD   R10, R1, R2, R3
+         BRA    loop
+         EXIT
+
+Branch targets may be labels or absolute instruction indices.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblyError
+from .instruction import Instruction, Pred, Program
+from .opcodes import BY_MNEMONIC, CMP_BY_NAME, Fmt, SREG_BY_NAME, info
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):$")
+_PRED_RE = re.compile(r"^@(!?)P([0-3])$")
+_REG_RE = re.compile(r"^R([0-9]+)$", re.IGNORECASE)
+_PREG_RE = re.compile(r"^P([0-3])$", re.IGNORECASE)
+_MEM_RE = re.compile(r"^\[R([0-9]+)(?:\s*\+\s*(0x[0-9A-Fa-f]+|[0-9]+))?\]$",
+                     re.IGNORECASE)
+_CONST_RE = re.compile(r"^c\[(0x[0-9A-Fa-f]+|[0-9]+)\]$", re.IGNORECASE)
+
+
+def _strip_comment(line):
+    for marker in (";", "//", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_int(text, lineno):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError("invalid integer literal {!r}".format(text),
+                            lineno)
+
+
+def _parse_reg(text, lineno):
+    match = _REG_RE.match(text)
+    if not match:
+        raise AssemblyError("expected register, got {!r}".format(text),
+                            lineno)
+    return int(match.group(1))
+
+
+def _parse_preg(text, lineno):
+    match = _PREG_RE.match(text)
+    if not match:
+        raise AssemblyError("expected predicate register, got {!r}"
+                            .format(text), lineno)
+    return int(match.group(1))
+
+
+def _parse_cmp(text, lineno):
+    cmp_op = CMP_BY_NAME.get(text.upper())
+    if cmp_op is None:
+        raise AssemblyError("unknown comparison {!r}".format(text), lineno)
+    return cmp_op
+
+
+def _split_operands(rest):
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+class _PendingBranch:
+    """Branch instruction awaiting label resolution in pass two."""
+
+    def __init__(self, kwargs, target_text, lineno):
+        self.kwargs = kwargs
+        self.target_text = target_text
+        self.lineno = lineno
+
+
+def assemble(source):
+    """Assemble *source* text into a :class:`~repro.isa.instruction.Program`.
+
+    Raises :class:`~repro.errors.AssemblyError` with a line number on any
+    syntax or semantic problem.
+    """
+    labels = {}
+    items = []  # Instruction or _PendingBranch, in program order
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AssemblyError("duplicate label {!r}".format(name),
+                                    lineno)
+            labels[name] = len(items)
+            continue
+
+        pred = None
+        tokens = line.split(None, 1)
+        if tokens and tokens[0].startswith("@"):
+            pred_match = _PRED_RE.match(tokens[0])
+            if not pred_match:
+                raise AssemblyError("bad predicate guard {!r}"
+                                    .format(tokens[0]), lineno)
+            pred = Pred(int(pred_match.group(2)),
+                        negate=bool(pred_match.group(1)))
+            line = tokens[1] if len(tokens) > 1 else ""
+            tokens = line.split(None, 1)
+        if not tokens:
+            raise AssemblyError("guard without instruction", lineno)
+
+        mnemonic = tokens[0].upper()
+        op = BY_MNEMONIC.get(mnemonic)
+        if op is None:
+            raise AssemblyError("unknown mnemonic {!r}".format(mnemonic),
+                                lineno)
+        operands = _split_operands(tokens[1] if len(tokens) > 1 else "")
+        items.append(_parse_instruction(op, operands, pred, lineno))
+
+    instructions = []
+    for item in items:
+        if isinstance(item, _PendingBranch):
+            target_text = item.target_text
+            if target_text in labels:
+                target = labels[target_text]
+            else:
+                try:
+                    target = int(target_text, 0)
+                except ValueError:
+                    raise AssemblyError(
+                        "undefined label {!r}".format(target_text),
+                        item.lineno)
+            instructions.append(Instruction(target=target, **item.kwargs))
+        else:
+            instructions.append(item)
+    return Program(instructions, labels)
+
+
+def _expect(operands, count, op, lineno):
+    if len(operands) != count:
+        raise AssemblyError("{} expects {} operand(s), got {}"
+                            .format(op.value, count, len(operands)), lineno)
+
+
+def _parse_instruction(op, operands, pred, lineno):
+    fmt = info(op).fmt
+    kw = {"op": op, "pred": pred}
+    if fmt is Fmt.RRR:
+        _expect(operands, 3, op, lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  src_a=_parse_reg(operands[1], lineno),
+                  src_b=_parse_reg(operands[2], lineno))
+    elif fmt is Fmt.RRRR:
+        _expect(operands, 4, op, lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  src_a=_parse_reg(operands[1], lineno),
+                  src_b=_parse_reg(operands[2], lineno),
+                  src_c=_parse_reg(operands[3], lineno))
+    elif fmt is Fmt.RRI32:
+        _expect(operands, 3, op, lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  src_a=_parse_reg(operands[1], lineno),
+                  imm=_parse_int(operands[2], lineno))
+    elif fmt is Fmt.RI32:
+        _expect(operands, 2, op, lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  imm=_parse_int(operands[1], lineno))
+    elif fmt is Fmt.RR:
+        _expect(operands, 2, op, lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  src_a=_parse_reg(operands[1], lineno))
+    elif fmt is Fmt.RRC:
+        _expect(operands, 4, op, lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  src_a=_parse_reg(operands[1], lineno),
+                  src_b=_parse_reg(operands[2], lineno),
+                  cmp=_parse_cmp(operands[3], lineno))
+    elif fmt is Fmt.PRC:
+        _expect(operands, 4, op, lineno)
+        kw.update(dst=_parse_preg(operands[0], lineno),
+                  src_a=_parse_reg(operands[1], lineno),
+                  src_b=_parse_reg(operands[2], lineno),
+                  cmp=_parse_cmp(operands[3], lineno))
+    elif fmt is Fmt.RSEL:
+        _expect(operands, 4, op, lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  src_c=_parse_preg(operands[1], lineno),
+                  src_a=_parse_reg(operands[2], lineno),
+                  src_b=_parse_reg(operands[3], lineno))
+    elif fmt is Fmt.RSREG:
+        _expect(operands, 2, op, lineno)
+        sreg = SREG_BY_NAME.get(operands[1].upper())
+        if sreg is None:
+            raise AssemblyError("unknown special register {!r}"
+                                .format(operands[1]), lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno), sreg=sreg)
+    elif fmt is Fmt.LD:
+        _expect(operands, 2, op, lineno)
+        mem = _MEM_RE.match(operands[1])
+        if not mem:
+            raise AssemblyError("bad memory operand {!r}".format(operands[1]),
+                                lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  src_a=int(mem.group(1)),
+                  imm=_parse_int(mem.group(2), lineno) if mem.group(2) else 0)
+    elif fmt is Fmt.ST:
+        _expect(operands, 2, op, lineno)
+        mem = _MEM_RE.match(operands[0])
+        if not mem:
+            raise AssemblyError("bad memory operand {!r}".format(operands[0]),
+                                lineno)
+        kw.update(src_a=int(mem.group(1)),
+                  imm=_parse_int(mem.group(2), lineno) if mem.group(2) else 0,
+                  src_b=_parse_reg(operands[1], lineno))
+    elif fmt is Fmt.CONSTLD:
+        _expect(operands, 2, op, lineno)
+        const = _CONST_RE.match(operands[1])
+        if not const:
+            raise AssemblyError("bad constant operand {!r}"
+                                .format(operands[1]), lineno)
+        kw.update(dst=_parse_reg(operands[0], lineno),
+                  imm=_parse_int(const.group(1), lineno))
+    elif fmt is Fmt.BRANCH:
+        _expect(operands, 1, op, lineno)
+        return _PendingBranch(kw, operands[0], lineno)
+    elif fmt is Fmt.NONE:
+        _expect(operands, 0, op, lineno)
+    else:  # pragma: no cover - exhaustive over Fmt
+        raise AssemblyError("unhandled format {!r}".format(fmt), lineno)
+    return Instruction(**kw)

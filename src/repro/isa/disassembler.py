@@ -1,0 +1,63 @@
+"""Disassembler: Instruction -> canonical assembly text.
+
+The output round-trips through :func:`repro.isa.assembler.assemble` (branch
+targets are emitted as absolute indices, which the assembler accepts).
+"""
+
+from __future__ import annotations
+
+from .opcodes import Fmt, info
+
+
+def _imm_hex(value):
+    return "0x{:X}".format(value)
+
+
+def format_instruction(instr):
+    """Return the canonical one-line assembly text for *instr*."""
+    fmt = info(instr.op).fmt
+    name = instr.op.value
+    if fmt is Fmt.RRR:
+        body = "{} R{}, R{}, R{}".format(name, instr.dst, instr.src_a,
+                                         instr.src_b)
+    elif fmt is Fmt.RRRR:
+        body = "{} R{}, R{}, R{}, R{}".format(name, instr.dst, instr.src_a,
+                                              instr.src_b, instr.src_c)
+    elif fmt is Fmt.RRI32:
+        body = "{} R{}, R{}, {}".format(name, instr.dst, instr.src_a,
+                                        _imm_hex(instr.imm))
+    elif fmt is Fmt.RI32:
+        body = "{} R{}, {}".format(name, instr.dst, _imm_hex(instr.imm))
+    elif fmt is Fmt.RR:
+        body = "{} R{}, R{}".format(name, instr.dst, instr.src_a)
+    elif fmt is Fmt.RRC:
+        body = "{} R{}, R{}, R{}, {}".format(name, instr.dst, instr.src_a,
+                                             instr.src_b, instr.cmp.name)
+    elif fmt is Fmt.PRC:
+        body = "{} P{}, R{}, R{}, {}".format(name, instr.dst, instr.src_a,
+                                             instr.src_b, instr.cmp.name)
+    elif fmt is Fmt.RSEL:
+        body = "{} R{}, P{}, R{}, R{}".format(name, instr.dst, instr.src_c,
+                                              instr.src_a, instr.src_b)
+    elif fmt is Fmt.RSREG:
+        body = "{} R{}, {}".format(name, instr.dst, instr.sreg.name)
+    elif fmt is Fmt.LD:
+        body = "{} R{}, [R{}+{}]".format(name, instr.dst, instr.src_a,
+                                         _imm_hex(instr.imm))
+    elif fmt is Fmt.ST:
+        body = "{} [R{}+{}], R{}".format(name, instr.src_a,
+                                         _imm_hex(instr.imm), instr.src_b)
+    elif fmt is Fmt.CONSTLD:
+        body = "{} R{}, c[{}]".format(name, instr.dst, _imm_hex(instr.imm))
+    elif fmt is Fmt.BRANCH:
+        body = "{} {}".format(name, instr.target)
+    else:  # Fmt.NONE
+        body = name
+    if instr.pred is not None:
+        return "{} {}".format(instr.pred, body)
+    return body
+
+
+def disassemble(instructions):
+    """Return the multi-line assembly text for an instruction sequence."""
+    return "\n".join(format_instruction(i) for i in instructions)

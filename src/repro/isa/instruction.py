@@ -1,0 +1,226 @@
+"""Instruction and operand model for the SASS-like ISA.
+
+An :class:`Instruction` is a fully-resolved machine instruction: opcode,
+optional predicate guard, and format-specific operand fields.  Instances are
+immutable; program transformations (e.g. the compaction reduction stage)
+build new instruction lists instead of mutating in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import IsaError
+from . import opcodes
+from .opcodes import CmpOp, Fmt, Op, SpecialReg
+
+#: Number of general-purpose registers addressable per thread.
+NUM_REGS = 64
+
+#: Number of predicate registers per thread.
+NUM_PREDS = 4
+
+#: Sentinel register index meaning "field unused".
+RZ = 0
+
+#: Mask for 32-bit integer wraparound.
+MASK32 = 0xFFFFFFFF
+
+#: Maximum encodable 24-bit unsigned immediate (memory offsets, shift counts).
+IMM24_MAX = (1 << 24) - 1
+
+
+def check_reg(index, what="register"):
+    """Validate a GPR index, returning it; raise :class:`IsaError` otherwise."""
+    if not isinstance(index, int) or not 0 <= index < NUM_REGS:
+        raise IsaError("invalid {} index: {!r}".format(what, index))
+    return index
+
+
+def check_pred(index):
+    """Validate a predicate register index."""
+    if not isinstance(index, int) or not 0 <= index < NUM_PREDS:
+        raise IsaError("invalid predicate index: {!r}".format(index))
+    return index
+
+
+def check_imm32(value):
+    """Validate/normalize a 32-bit immediate (accepts signed or unsigned)."""
+    if not isinstance(value, int):
+        raise IsaError("immediate must be an int, got {!r}".format(value))
+    if not -(1 << 31) <= value <= MASK32:
+        raise IsaError("immediate out of 32-bit range: {!r}".format(value))
+    return value & MASK32
+
+
+def check_imm24(value):
+    """Validate a 24-bit unsigned immediate (offsets / shift counts)."""
+    if not isinstance(value, int) or not 0 <= value <= IMM24_MAX:
+        raise IsaError("immediate out of 24-bit range: {!r}".format(value))
+    return value
+
+
+@dataclass(frozen=True)
+class Pred:
+    """Predicate guard ``@Pn`` / ``@!Pn`` on an instruction."""
+
+    index: int
+    negate: bool = False
+
+    def __post_init__(self):
+        check_pred(self.index)
+
+    def __str__(self):
+        return "@{}P{}".format("!" if self.negate else "", self.index)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction.
+
+    Only the fields relevant to ``op``'s format are meaningful; the rest stay
+    at their defaults and encode as zero.  ``target`` holds an absolute
+    instruction index for branch formats (the assembler resolves labels).
+    """
+
+    op: Op
+    dst: int = 0            # destination GPR (or predicate index for ISETP)
+    src_a: int = 0          # first source GPR
+    src_b: int = 0          # second source GPR
+    src_c: int = 0          # third source GPR (IMAD / FMAD / SEL predicate)
+    imm: int = 0            # imm32 (RRI32/RI32) or imm24 (offsets)
+    cmp: CmpOp = CmpOp.EQ   # comparison operator (ISET / ISETP / FSET)
+    sreg: SpecialReg = SpecialReg.TID_X  # special register (S2R)
+    target: int = 0         # branch target (absolute instruction index)
+    pred: Pred = None       # optional guard
+
+    # -- construction helpers ------------------------------------------------
+
+    def __post_init__(self):
+        if not isinstance(self.op, Op):
+            raise IsaError("op must be an Op, got {!r}".format(self.op))
+        fmt = self.fmt
+        if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RR, Fmt.RSEL, Fmt.RSREG):
+            check_reg(self.dst, "destination")
+        if fmt in (Fmt.RRC,):
+            check_reg(self.dst, "destination")
+        if fmt is Fmt.PRC:
+            check_pred(self.dst)
+        if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RRC, Fmt.PRC, Fmt.RR, Fmt.RSEL,
+                   Fmt.RRI32):
+            check_reg(self.src_a, "source A")
+        if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RRC, Fmt.PRC, Fmt.RSEL):
+            check_reg(self.src_b, "source B")
+        if fmt is Fmt.RRRR:
+            check_reg(self.src_c, "source C")
+        if fmt is Fmt.RSEL:
+            check_pred(self.src_c)
+        if fmt in (Fmt.RRI32, Fmt.RI32):
+            object.__setattr__(self, "imm", check_imm32(self.imm))
+        if fmt in (Fmt.LD, Fmt.ST, Fmt.CONSTLD):
+            object.__setattr__(self, "imm", check_imm24(self.imm))
+        if fmt in (Fmt.LD,):
+            check_reg(self.dst, "destination")
+            check_reg(self.src_a, "address base")
+        if fmt is Fmt.ST:
+            check_reg(self.src_a, "address base")
+            check_reg(self.src_b, "store data")
+        if fmt is Fmt.CONSTLD:
+            check_reg(self.dst, "destination")
+        if fmt is Fmt.BRANCH and (not isinstance(self.target, int)
+                                  or self.target < 0):
+            raise IsaError("branch target must be a non-negative int")
+
+    # -- metadata -------------------------------------------------------------
+
+    @property
+    def info(self):
+        """Static :class:`~repro.isa.opcodes.OpcodeInfo` of this opcode."""
+        return opcodes.info(self.op)
+
+    @property
+    def fmt(self):
+        return opcodes.info(self.op).fmt
+
+    @property
+    def unit(self):
+        return opcodes.info(self.op).unit
+
+    def with_pred(self, index, negate=False):
+        """Return a copy guarded by ``@Pindex`` (or ``@!Pindex``)."""
+        return replace(self, pred=Pred(index, negate))
+
+    def with_target(self, target):
+        """Return a copy with the branch target rewritten (for relocation)."""
+        if self.fmt is not Fmt.BRANCH:
+            raise IsaError("{} has no branch target".format(self.op.value))
+        return replace(self, target=target)
+
+    # -- dataflow queries ------------------------------------------------------
+
+    def regs_read(self):
+        """Set of GPR indices this instruction reads."""
+        fmt = self.fmt
+        reads = set()
+        if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RRC, Fmt.PRC, Fmt.RR, Fmt.RSEL,
+                   Fmt.RRI32):
+            reads.add(self.src_a)
+        if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RRC, Fmt.PRC, Fmt.RSEL):
+            reads.add(self.src_b)
+        if fmt is Fmt.RRRR:
+            reads.add(self.src_c)
+        if fmt is Fmt.LD:
+            reads.add(self.src_a)
+        if fmt is Fmt.ST:
+            reads.update((self.src_a, self.src_b))
+        return reads
+
+    def regs_written(self):
+        """Set of GPR indices this instruction writes."""
+        if self.info.writes_reg:
+            return {self.dst}
+        return set()
+
+    def preds_read(self):
+        """Set of predicate indices read (guard and SEL selector)."""
+        reads = set()
+        if self.pred is not None:
+            reads.add(self.pred.index)
+        if self.fmt is Fmt.RSEL:
+            reads.add(self.src_c)
+        return reads
+
+    def preds_written(self):
+        """Set of predicate indices written (ISETP only)."""
+        if self.op is Op.ISETP:
+            return {self.dst}
+        return set()
+
+    # -- rendering ------------------------------------------------------------
+
+    def __str__(self):
+        from .disassembler import format_instruction
+
+        return format_instruction(self)
+
+
+@dataclass
+class Program:
+    """A flat instruction sequence plus optional label map.
+
+    ``labels`` maps label name -> instruction index and is preserved by the
+    assembler for round-tripping / debugging; it is not required for
+    execution (branch targets are absolute indices).
+    """
+
+    instructions: list
+    labels: dict = field(default_factory=dict)
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, idx):
+        return self.instructions[idx]

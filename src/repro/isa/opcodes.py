@@ -1,0 +1,282 @@
+"""Opcode definitions for the FlexGripPlus-compatible SASS-like ISA.
+
+FlexGripPlus (the open-source G80-class GPGPU model the paper evaluates on)
+supports 52 assembly instructions of the NVIDIA Streaming ASSembler (SASS)
+language.  This module defines a 52-entry instruction set with the same
+functional mix: integer arithmetic/logic, 32-bit-immediate variants, FP32
+arithmetic, SFU transcendental operations, data movement, global/shared/
+constant memory accesses, and SIMT control flow.
+
+Each opcode carries static metadata (:class:`OpcodeInfo`) used by the
+assembler, the 64-bit encoder, the GPU functional simulator, and the Decoder
+Unit netlist generator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Unit(enum.Enum):
+    """Execution unit an instruction is dispatched to inside the SM."""
+
+    SP = "sp"          # integer pipelines of the 8 SP cores
+    FP32 = "fp32"      # the 8 FP32 units (paired with the SP cores)
+    SFU = "sfu"        # the 2 Special Function Units
+    MEM = "mem"        # load/store path (global / shared / constant)
+    CTRL = "ctrl"      # warp control (branches, sync, barriers)
+
+
+class Fmt(enum.Enum):
+    """Operand format; drives assembly syntax and the 64-bit field layout."""
+
+    RRR = "rrr"          # rd, ra, rb
+    RRRR = "rrrr"        # rd, ra, rb, rc        (IMAD / FMAD)
+    RRI32 = "rri32"      # rd, ra, imm32         (*32I binary forms)
+    RI32 = "ri32"        # rd, imm32             (MOV32I)
+    RR = "rr"            # rd, ra                (MOV / NOT / unary FP / SFU)
+    RRC = "rrc"          # rd, ra, rb, cmp       (ISET)
+    PRC = "prc"          # pd, ra, rb, cmp       (ISETP)
+    RSREG = "rsreg"      # rd, sreg              (S2R)
+    RSEL = "rsel"        # rd, pa, ra, rb        (SEL)
+    LD = "ld"            # rd, [ra + imm]        (GLD / SLD / LLD)
+    ST = "st"            # [ra + imm], rb        (GST / SST / LST)
+    CONSTLD = "constld"  # rd, c[imm]            (CLD)
+    BRANCH = "branch"    # label                 (BRA / SSY / CAL)
+    NONE = "none"        # no operands           (JOIN / RET / BAR / EXIT / NOP)
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode.
+
+    Attributes:
+        mnemonic: assembly mnemonic (upper case).
+        code: 8-bit binary opcode used in the 64-bit encoding.
+        unit: execution unit the instruction dispatches to.
+        fmt: operand format.
+        latency: execute-stage beats *per 8-thread group* in the timing model.
+        writes_reg: True when the instruction writes a destination register.
+        is_fp: True for single-precision floating point semantics.
+    """
+
+    mnemonic: str
+    code: int
+    unit: Unit
+    fmt: Fmt
+    latency: int
+    writes_reg: bool
+    is_fp: bool = False
+
+
+class Op(enum.Enum):
+    """The 52 supported opcodes (FlexGripPlus-class SASS subset)."""
+
+    # --- integer arithmetic (SP) ------------------------------------------
+    IADD = "IADD"
+    IADD32I = "IADD32I"
+    ISUB = "ISUB"
+    IMUL = "IMUL"
+    IMUL32I = "IMUL32I"
+    IMAD = "IMAD"
+    IMIN = "IMIN"
+    IMAX = "IMAX"
+    # --- integer logic / shift (SP) ---------------------------------------
+    AND = "AND"
+    AND32I = "AND32I"
+    OR = "OR"
+    OR32I = "OR32I"
+    XOR = "XOR"
+    XOR32I = "XOR32I"
+    NOT = "NOT"
+    SHL = "SHL"
+    SHL32I = "SHL32I"
+    SHR = "SHR"
+    SHR32I = "SHR32I"
+    # --- integer compare / predicate (SP) ----------------------------------
+    ISET = "ISET"
+    ISETP = "ISETP"
+    # --- floating point (FP32) ---------------------------------------------
+    FADD = "FADD"
+    FADD32I = "FADD32I"
+    FMUL = "FMUL"
+    FMUL32I = "FMUL32I"
+    FMAD = "FMAD"
+    FSET = "FSET"
+    F2I = "F2I"
+    I2F = "I2F"
+    # --- special function unit (SFU) ---------------------------------------
+    RCP = "RCP"
+    RSQ = "RSQ"
+    SIN = "SIN"
+    COS = "COS"
+    LG2 = "LG2"
+    EX2 = "EX2"
+    # --- data movement -------------------------------------------------------
+    MOV = "MOV"
+    MOV32I = "MOV32I"
+    SEL = "SEL"
+    S2R = "S2R"
+    # --- memory --------------------------------------------------------------
+    GLD = "GLD"
+    GST = "GST"
+    SLD = "SLD"
+    SST = "SST"
+    CLD = "CLD"
+    # --- control flow ----------------------------------------------------------
+    BRA = "BRA"
+    SSY = "SSY"
+    JOIN = "JOIN"
+    CAL = "CAL"
+    RET = "RET"
+    BAR = "BAR"
+    EXIT = "EXIT"
+    NOP = "NOP"
+
+
+_SPEC = [
+    # mnemonic        code  unit       fmt          lat  wr    fp
+    (Op.IADD,    0x01, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.IADD32I, 0x02, Unit.SP,   Fmt.RRI32,  1, True),
+    (Op.ISUB,    0x03, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.IMUL,    0x04, Unit.SP,   Fmt.RRR,    2, True),
+    (Op.IMUL32I, 0x05, Unit.SP,   Fmt.RRI32,  2, True),
+    (Op.IMAD,    0x06, Unit.SP,   Fmt.RRRR,   2, True),
+    (Op.IMIN,    0x07, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.IMAX,    0x08, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.AND,     0x09, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.AND32I,  0x0A, Unit.SP,   Fmt.RRI32,  1, True),
+    (Op.OR,      0x0B, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.OR32I,   0x0C, Unit.SP,   Fmt.RRI32,  1, True),
+    (Op.XOR,     0x0D, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.XOR32I,  0x0E, Unit.SP,   Fmt.RRI32,  1, True),
+    (Op.NOT,     0x0F, Unit.SP,   Fmt.RR,     1, True),
+    (Op.SHL,     0x10, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.SHL32I,  0x11, Unit.SP,   Fmt.RRI32,  1, True),
+    (Op.SHR,     0x12, Unit.SP,   Fmt.RRR,    1, True),
+    (Op.SHR32I,  0x13, Unit.SP,   Fmt.RRI32,  1, True),
+    (Op.ISET,    0x14, Unit.SP,   Fmt.RRC,    1, True),
+    (Op.ISETP,   0x15, Unit.SP,   Fmt.PRC,    1, False),
+    (Op.FADD,    0x16, Unit.FP32, Fmt.RRR,    2, True, True),
+    (Op.FADD32I, 0x17, Unit.FP32, Fmt.RRI32,  2, True, True),
+    (Op.FMUL,    0x18, Unit.FP32, Fmt.RRR,    2, True, True),
+    (Op.FMUL32I, 0x19, Unit.FP32, Fmt.RRI32,  2, True, True),
+    (Op.FMAD,    0x1A, Unit.FP32, Fmt.RRRR,   3, True, True),
+    (Op.FSET,    0x1B, Unit.FP32, Fmt.RRC,    2, True, True),
+    (Op.F2I,     0x1C, Unit.FP32, Fmt.RR,     2, True, True),
+    (Op.I2F,     0x1D, Unit.FP32, Fmt.RR,     2, True, True),
+    (Op.RCP,     0x1E, Unit.SFU,  Fmt.RR,     4, True, True),
+    (Op.RSQ,     0x1F, Unit.SFU,  Fmt.RR,     4, True, True),
+    (Op.SIN,     0x20, Unit.SFU,  Fmt.RR,     4, True, True),
+    (Op.COS,     0x21, Unit.SFU,  Fmt.RR,     4, True, True),
+    (Op.LG2,     0x22, Unit.SFU,  Fmt.RR,     4, True, True),
+    (Op.EX2,     0x23, Unit.SFU,  Fmt.RR,     4, True, True),
+    (Op.MOV,     0x24, Unit.SP,   Fmt.RR,     1, True),
+    (Op.MOV32I,  0x25, Unit.SP,   Fmt.RI32,   1, True),
+    (Op.SEL,     0x26, Unit.SP,   Fmt.RSEL,   1, True),
+    (Op.S2R,     0x27, Unit.SP,   Fmt.RSREG,  1, True),
+    (Op.GLD,     0x28, Unit.MEM,  Fmt.LD,     8, True),
+    (Op.GST,     0x29, Unit.MEM,  Fmt.ST,     8, False),
+    (Op.SLD,     0x2A, Unit.MEM,  Fmt.LD,     2, True),
+    (Op.SST,     0x2B, Unit.MEM,  Fmt.ST,     2, False),
+    (Op.CLD,     0x2C, Unit.MEM,  Fmt.CONSTLD, 2, True),
+    (Op.BRA,     0x2D, Unit.CTRL, Fmt.BRANCH, 1, False),
+    (Op.SSY,     0x2E, Unit.CTRL, Fmt.BRANCH, 1, False),
+    (Op.JOIN,    0x2F, Unit.CTRL, Fmt.NONE,   1, False),
+    (Op.CAL,     0x30, Unit.CTRL, Fmt.BRANCH, 1, False),
+    (Op.RET,     0x31, Unit.CTRL, Fmt.NONE,   1, False),
+    (Op.BAR,     0x32, Unit.CTRL, Fmt.NONE,   1, False),
+    (Op.EXIT,    0x33, Unit.CTRL, Fmt.NONE,   1, False),
+    (Op.NOP,     0x34, Unit.CTRL, Fmt.NONE,   1, False),
+]
+
+
+def _build_info_table():
+    table = {}
+    for row in _SPEC:
+        op, code, unit, fmt, lat, writes = row[:6]
+        is_fp = row[6] if len(row) > 6 else False
+        table[op] = OpcodeInfo(
+            mnemonic=op.value,
+            code=code,
+            unit=unit,
+            fmt=fmt,
+            latency=lat,
+            writes_reg=writes,
+            is_fp=is_fp,
+        )
+    return table
+
+
+#: Op -> OpcodeInfo
+INFO = _build_info_table()
+
+#: 8-bit binary opcode -> Op
+BY_CODE = {info.code: op for op, info in INFO.items()}
+
+#: mnemonic string -> Op
+BY_MNEMONIC = {op.value: op for op in Op}
+
+#: Number of supported instructions (FlexGripPlus supports up to 52).
+NUM_OPCODES = len(INFO)
+
+
+class CmpOp(enum.Enum):
+    """Comparison operator for ISET / ISETP / FSET (3-bit `cmp` field)."""
+
+    LT = 0
+    LE = 1
+    GT = 2
+    GE = 3
+    EQ = 4
+    NE = 5
+
+
+CMP_BY_NAME = {c.name: c for c in CmpOp}
+CMP_BY_CODE = {c.value: c for c in CmpOp}
+
+
+class SpecialReg(enum.Enum):
+    """Special registers readable via S2R (4-bit `sreg` field)."""
+
+    TID_X = 0     # thread index within the block
+    NTID_X = 1    # threads per block
+    CTAID_X = 2   # block index within the grid
+    NCTAID_X = 3  # blocks in the grid
+    LANEID = 4    # thread index within the warp
+    WARPID = 5    # warp index within the block
+
+
+SREG_BY_NAME = {s.name: s for s in SpecialReg}
+SREG_BY_CODE = {s.value: s for s in SpecialReg}
+
+
+def info(op):
+    """Return the :class:`OpcodeInfo` for *op* (an :class:`Op`)."""
+    return INFO[op]
+
+
+def unit_of(op):
+    """Return the execution :class:`Unit` of *op*."""
+    return INFO[op].unit
+
+
+def is_branch(op):
+    """True for instructions that may redirect the PC (BRA / CAL / RET / EXIT)."""
+    return op in (Op.BRA, Op.CAL, Op.RET, Op.EXIT)
+
+
+def is_control(op):
+    """True for every control-flow related instruction (including SSY/JOIN/BAR)."""
+    return INFO[op].unit is Unit.CTRL
+
+
+def is_memory(op):
+    """True for load/store/constant-access instructions."""
+    return INFO[op].unit is Unit.MEM
+
+
+def is_immediate_form(op):
+    """True for instructions carrying a 32-bit immediate operand."""
+    return INFO[op].fmt in (Fmt.RRI32, Fmt.RI32)

@@ -1,0 +1,24 @@
+"""Gate-level netlist substrate: IR, synthesis macros, logic simulation.
+
+This package replaces the paper's synthesized (Nangate 15nm) gate-level
+descriptions and the commercial gate-level logic simulator:
+
+* :mod:`repro.netlist.gates` / :mod:`repro.netlist.netlist` — the cell
+  library and the netlist DAG;
+* :mod:`repro.netlist.builder` — word-level composition helpers (adders,
+  multipliers, shifters, ROMs, decoders);
+* :mod:`repro.netlist.simulator` — bit-parallel logic simulation
+  (whole pattern sets per gate evaluation);
+* :mod:`repro.netlist.modules` — the three fault-targeted GPU modules
+  (Decoder Unit, SP core, SFU).
+"""
+
+from .gates import ARITY, CONTROLLING_VALUE, GateType, evaluate, is_inverting
+from .netlist import CONST0, CONST1, Gate, Netlist
+from .simulator import LogicSimulator, PatternSet
+
+__all__ = [
+    "GateType", "ARITY", "CONTROLLING_VALUE", "evaluate", "is_inverting",
+    "Netlist", "Gate", "CONST0", "CONST1",
+    "LogicSimulator", "PatternSet",
+]

@@ -1,0 +1,249 @@
+"""Word-level construction helpers ("synthesis macros") for netlists.
+
+A *word* is a list of net indices, LSB first.  These helpers compose the
+2-input cell library into the arithmetic/steering blocks the module
+generators need: adders, subtractors, comparators, barrel shifters, array
+multipliers, one-hot decoders, ROMs, and reduction trees.
+
+All helpers append gates to the provided :class:`~repro.netlist.netlist.Netlist`
+and return output nets / words; none of them finalizes the netlist.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from .gates import GateType
+from .netlist import CONST0, CONST1
+
+
+def constant_word(value, width):
+    """Word of constant nets for *value* (LSB first)."""
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def not_word(nl, word):
+    return [nl.add_gate(GateType.NOT, b) for b in word]
+
+
+def _binary_word(nl, gate_type, a, b):
+    if len(a) != len(b):
+        raise NetlistError("word width mismatch: {} vs {}".format(
+            len(a), len(b)))
+    return [nl.add_gate(gate_type, x, y) for x, y in zip(a, b)]
+
+
+def and_word(nl, a, b):
+    return _binary_word(nl, GateType.AND, a, b)
+
+
+def or_word(nl, a, b):
+    return _binary_word(nl, GateType.OR, a, b)
+
+
+def xor_word(nl, a, b):
+    return _binary_word(nl, GateType.XOR, a, b)
+
+
+def mux_word(nl, a, b, sel):
+    """Per-bit 2:1 mux: returns ``b if sel else a``."""
+    if len(a) != len(b):
+        raise NetlistError("mux word width mismatch")
+    return [nl.add_gate(GateType.MUX, x, y, sel) for x, y in zip(a, b)]
+
+
+def and_reduce(nl, nets):
+    """Balanced AND tree over *nets*; returns one net."""
+    return _reduce_tree(nl, GateType.AND, nets, CONST1)
+def or_reduce(nl, nets):
+    """Balanced OR tree over *nets*; returns one net."""
+    return _reduce_tree(nl, GateType.OR, nets, CONST0)
+def xor_reduce(nl, nets):
+    """Balanced XOR (parity) tree over *nets*; returns one net."""
+    return _reduce_tree(nl, GateType.XOR, nets, CONST0)
+
+
+def _reduce_tree(nl, gate_type, nets, empty_value):
+    nets = list(nets)
+    if not nets:
+        return empty_value
+    while len(nets) > 1:
+        nxt = []
+        for i in range(0, len(nets) - 1, 2):
+            nxt.append(nl.add_gate(gate_type, nets[i], nets[i + 1]))
+        if len(nets) % 2:
+            nxt.append(nets[-1])
+        nets = nxt
+    return nets[0]
+
+
+def full_adder(nl, a, b, cin):
+    """Full adder; returns (sum, carry-out)."""
+    axb = nl.add_gate(GateType.XOR, a, b)
+    total = nl.add_gate(GateType.XOR, axb, cin)
+    carry = nl.add_gate(
+        GateType.OR,
+        nl.add_gate(GateType.AND, a, b),
+        nl.add_gate(GateType.AND, axb, cin),
+    )
+    return total, carry
+
+
+def ripple_adder(nl, a, b, cin=CONST0):
+    """Ripple-carry adder; returns (sum word, carry-out net)."""
+    if len(a) != len(b):
+        raise NetlistError("adder word width mismatch")
+    total = []
+    carry = cin
+    for x, y in zip(a, b):
+        bit, carry = full_adder(nl, x, y, carry)
+        total.append(bit)
+    return total, carry
+
+
+def subtractor(nl, a, b):
+    """Two's complement subtractor ``a - b``; returns (diff, borrow-free)."""
+    diff, carry = ripple_adder(nl, a, not_word(nl, b), CONST1)
+    return diff, carry
+
+
+def equality_comparator(nl, word, value):
+    """Single net = 1 iff *word* equals constant *value*."""
+    bits = []
+    for i, net in enumerate(word):
+        if (value >> i) & 1:
+            bits.append(net)
+        else:
+            bits.append(nl.add_gate(GateType.NOT, net))
+    return and_reduce(nl, bits)
+
+
+def equal_words(nl, a, b):
+    """Single net = 1 iff words *a* and *b* are bit-equal."""
+    return and_reduce(nl, [nl.add_gate(GateType.XNOR, x, y)
+                           for x, y in zip(a, b)])
+
+
+def less_than_unsigned(nl, a, b):
+    """Single net = 1 iff unsigned(a) < unsigned(b) (via subtract borrow)."""
+    __, carry = subtractor(nl, a, b)
+    return nl.add_gate(GateType.NOT, carry)
+
+
+def less_than_signed(nl, a, b):
+    """Single net = 1 iff signed(a) < signed(b)."""
+    diff, carry = subtractor(nl, a, b)
+    sign_a, sign_b = a[-1], b[-1]
+    # overflow = sign_a ^ sign_b ? (borrow logic): lt = (a<b) =
+    #   sign_a & ~sign_b | (sign_a XNOR sign_b) & diff_sign
+    sign_diff = diff[-1]
+    differs = nl.add_gate(GateType.XOR, sign_a, sign_b)
+    same = nl.add_gate(GateType.NOT, differs)
+    neg_a_pos_b = nl.add_gate(GateType.AND, sign_a,
+                              nl.add_gate(GateType.NOT, sign_b))
+    same_and_neg = nl.add_gate(GateType.AND, same, sign_diff)
+    return nl.add_gate(GateType.OR, neg_a_pos_b, same_and_neg)
+
+
+def barrel_shifter(nl, word, amount, right=False, arithmetic=False):
+    """Logarithmic barrel shifter.
+
+    Args:
+        word: data word.
+        amount: shift-amount word (only ``ceil(log2(len(word)))`` low bits
+            are used; higher amount bits force zero/sign output).
+        right: shift right when True, else left.
+        arithmetic: replicate the sign bit on right shifts.
+    """
+    width = len(word)
+    stages = max(1, (width - 1).bit_length())
+    fill = word[-1] if (right and arithmetic) else CONST0
+    current = list(word)
+    for stage in range(min(stages, len(amount))):
+        step = 1 << stage
+        shifted = []
+        for i in range(width):
+            src = i + step if right else i - step
+            if 0 <= src < width:
+                shifted.append(current[src])
+            else:
+                shifted.append(fill)
+        current = mux_word(nl, current, shifted, amount[stage])
+    if len(amount) > stages:
+        overflow = or_reduce(nl, amount[stages:])
+        flush = [fill] * width
+        current = mux_word(nl, current, flush, overflow)
+    return current
+
+
+def array_multiplier(nl, a, b, out_width=None):
+    """Unsigned array multiplier; returns the low *out_width* product bits."""
+    width = len(a)
+    if out_width is None:
+        out_width = width
+    rows = []
+    for j, b_bit in enumerate(b):
+        if j >= out_width:
+            break
+        row = [CONST0] * j
+        for i, a_bit in enumerate(a):
+            if i + j >= out_width:
+                break
+            row.append(nl.add_gate(GateType.AND, a_bit, b_bit))
+        row += [CONST0] * (out_width - len(row))
+        rows.append(row)
+    if not rows:
+        return [CONST0] * out_width
+    acc = rows[0]
+    for row in rows[1:]:
+        acc, __ = ripple_adder(nl, acc, row)
+    return acc
+
+
+def one_hot_decoder(nl, word):
+    """Decode *word* into ``2**len(word)`` one-hot nets."""
+    lines = [CONST1]
+    for bit in word:
+        inv = nl.add_gate(GateType.NOT, bit)
+        lines = ([nl.add_gate(GateType.AND, line, inv) for line in lines] +
+                 [nl.add_gate(GateType.AND, line, bit) for line in lines])
+    return lines
+
+
+def rom(nl, address_word, contents, data_width):
+    """Synchronous-free ROM as an AND-OR plane.
+
+    Args:
+        address_word: address nets (LSB first).
+        contents: list of integer words, one per address (missing -> 0).
+        data_width: output word width.
+
+    Returns:
+        Output data word.
+    """
+    select = one_hot_decoder(nl, address_word)
+    out = []
+    for bit in range(data_width):
+        terms = [select[addr] for addr, value in enumerate(contents)
+                 if (value >> bit) & 1 and addr < len(select)]
+        out.append(or_reduce(nl, terms))
+    return out
+
+
+def mux_tree(nl, words, select_word):
+    """Select one of *words* by binary *select_word* (out-of-range -> word 0)."""
+    if not words:
+        raise NetlistError("mux_tree needs at least one word")
+    width = len(words[0])
+    current = list(words)
+    for stage, sel in enumerate(select_word):
+        if len(current) == 1:
+            break
+        nxt = []
+        for i in range(0, len(current), 2):
+            if i + 1 < len(current):
+                nxt.append(mux_word(nl, current[i], current[i + 1], sel))
+            else:
+                zeros = [CONST0] * width
+                nxt.append(mux_word(nl, current[i], zeros, sel))
+        current = nxt
+    return current[0]

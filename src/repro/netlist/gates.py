@@ -1,0 +1,93 @@
+"""Gate primitives for the gate-level netlist IR.
+
+The cell set mirrors the combinational subset of a standard-cell library such
+as the 15nm Nangate OpenCell library used in the paper (Section IV): 1- and
+2-input logic cells plus a 2:1 multiplexer.  Wider functions are composed from
+these by the builder.
+
+Evaluation is *bit-parallel*: every net value is a Python integer whose bit
+``k`` holds the net's logic value under pattern ``k``.  A single bitwise
+operation therefore simulates the gate for the entire pattern set at once.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GateType(enum.Enum):
+    """Combinational cell types."""
+
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # inputs (a, b, sel): out = b if sel else a
+
+
+#: Number of input pins per gate type.
+ARITY = {
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.MUX: 3,
+}
+
+_INVERTING = {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+
+
+def evaluate(gate_type, inputs, mask):
+    """Evaluate *gate_type* over bit-parallel *inputs*.
+
+    Args:
+        gate_type: a :class:`GateType`.
+        inputs: tuple of packed pattern integers, one per input pin.
+        mask: integer with one bit set per valid pattern; inverting gates AND
+            with the mask so unused high bits stay zero.
+
+    Returns:
+        The packed output value.
+    """
+    if gate_type is GateType.BUF:
+        return inputs[0]
+    if gate_type is GateType.NOT:
+        return ~inputs[0] & mask
+    if gate_type is GateType.AND:
+        return inputs[0] & inputs[1]
+    if gate_type is GateType.OR:
+        return inputs[0] | inputs[1]
+    if gate_type is GateType.NAND:
+        return ~(inputs[0] & inputs[1]) & mask
+    if gate_type is GateType.NOR:
+        return ~(inputs[0] | inputs[1]) & mask
+    if gate_type is GateType.XOR:
+        return inputs[0] ^ inputs[1]
+    if gate_type is GateType.XNOR:
+        return ~(inputs[0] ^ inputs[1]) & mask
+    if gate_type is GateType.MUX:
+        a, b, sel = inputs
+        return (a & ~sel | b & sel) & mask
+    raise ValueError("unknown gate type {!r}".format(gate_type))
+
+
+def is_inverting(gate_type):
+    """True when the cell's output inverts (for fault-collapsing rules)."""
+    return gate_type in _INVERTING
+
+
+#: Controlling input value per gate type (None when no single value controls).
+CONTROLLING_VALUE = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}

@@ -1,0 +1,248 @@
+"""Gate-level Decoder Unit (DU) of the FlexGripPlus SM.
+
+The DU consumes the 64-bit instruction word produced by the fetch stage and
+produces the SM's control signals: execution-unit select, register-file
+addresses, immediate bus, predicate guard controls, memory-space select,
+branch controls, and the SP micro-op code.  The paper devotes the IMM, MEM,
+and CNTRL PTPs to this module (47.6% of the GPU's faults live in the DU and
+the parallel functional units).
+
+The netlist implements exactly the field layout of
+:mod:`repro.isa.encoding`, so encoded instruction words double as the DU's
+gate-level test patterns, and the fault-free netlist output can be checked
+against :mod:`repro.isa.opcodes` metadata instruction by instruction.
+
+Ports:
+
+* input: ``instr`` (64 bits).
+* outputs: ``valid``, ``illegal``, ``unit`` (5-bit one-hot: SP, FP32, SFU,
+  MEM, CTRL), ``writes_reg``, ``alu_op`` (4), ``cmp`` (3), ``dst`` (6),
+  ``src_a`` (6), ``src_b`` (6), ``src_c`` (6), ``imm`` (32), ``uses_imm``,
+  ``pred_idx`` (2), ``pred_neg``, ``pred_en``, ``is_load``, ``is_store``,
+  ``mem_space`` (2), ``branch_en``, ``target`` (24), ``sreg`` (4),
+  ``is_exit``, ``is_ssy``, ``is_join``, ``is_bar``.
+"""
+
+from __future__ import annotations
+
+from ...isa.opcodes import Fmt, INFO, Op, Unit
+from .. import builder as bd
+from ..gates import GateType
+from ..netlist import CONST0, Netlist
+from .sp_core import ISA_TO_SPOP, SPOp
+
+#: Order of the one-hot ``unit`` output word.
+UNIT_ORDER = (Unit.SP, Unit.FP32, Unit.SFU, Unit.MEM, Unit.CTRL)
+
+#: Memory-space codes on the ``mem_space`` output.
+MEM_SPACE = {Op.GLD: 0, Op.GST: 0, Op.SLD: 1, Op.SST: 1, Op.CLD: 2}
+
+_REG_FIELD_FORMATS = {
+    "dst": {Fmt.RRR, Fmt.RRRR, Fmt.RRI32, Fmt.RI32, Fmt.RR, Fmt.RRC,
+            Fmt.PRC, Fmt.RSEL, Fmt.RSREG, Fmt.LD, Fmt.CONSTLD},
+    "src_a": {Fmt.RRR, Fmt.RRRR, Fmt.RRI32, Fmt.RR, Fmt.RRC, Fmt.PRC,
+              Fmt.RSEL, Fmt.LD, Fmt.ST},
+    "src_b": {Fmt.RRR, Fmt.RRRR, Fmt.RRC, Fmt.PRC, Fmt.RSEL, Fmt.LD, Fmt.ST},
+    "src_c": {Fmt.RRRR, Fmt.RSEL},
+}
+
+
+def build_decoder_unit():
+    """Synthesize the Decoder Unit; returns a ``HardwareModule``."""
+    from . import HardwareModule
+
+    nl = Netlist("decoder_unit")
+    instr = nl.add_inputs(64, "instr")
+
+    opcode_field = instr[56:64]
+    pred_field = instr[53:56]
+    pred_negate_bit = instr[52]
+    dst_field = instr[46:52]
+    src_a_field = instr[40:46]
+    mod_field = instr[36:40]
+    src_b_field = instr[30:36]
+    src_c_field = instr[24:30]
+    imm24_field = instr[0:24]
+    imm32_field = instr[0:32]
+
+    # One-hot opcode recognition: one 8-bit equality comparator per opcode.
+    one_hot = {op: bd.equality_comparator(nl, opcode_field, info.code)
+               for op, info in INFO.items()}
+    valid = bd.or_reduce(nl, list(one_hot.values()))
+    illegal = nl.add_gate(GateType.NOT, valid)
+
+    def or_plane(ops):
+        """OR of the one-hot lines of *ops* (CONST0 when empty)."""
+        return bd.or_reduce(nl, [one_hot[op] for op in ops])
+
+    unit_lines = [or_plane([op for op, info in INFO.items()
+                            if info.unit is unit]) for unit in UNIT_ORDER]
+    writes_reg = or_plane([op for op, info in INFO.items()
+                           if info.writes_reg])
+
+    # SP micro-op code as a 4-bit OR plane over ISA one-hots.
+    alu_op = []
+    for bit in range(4):
+        ops = [op for op, spop in ISA_TO_SPOP.items()
+               if (spop.value >> bit) & 1]
+        alu_op.append(or_plane(ops))
+    # Non-SP instructions fall through to 0 (SPOp.ADD) with unit != SP;
+    # force PASS for them so downstream don't-cares are stable.
+    not_sp = nl.add_gate(GateType.NOT, unit_lines[0])
+    pass_word = bd.constant_word(SPOp.PASS.value, 4)
+    alu_op = bd.mux_word(nl, alu_op, pass_word, not_sp)
+
+    # Formats and field enables.
+    fmt_line = {fmt: or_plane([op for op, info in INFO.items()
+                               if info.fmt is fmt]) for fmt in Fmt}
+    uses_imm32 = nl.add_gate(GateType.OR, fmt_line[Fmt.RRI32],
+                             fmt_line[Fmt.RI32])
+
+    def field_enable(field_name):
+        return or_plane([op for op, info in INFO.items()
+                         if info.fmt in _REG_FIELD_FORMATS[field_name]])
+
+    def masked(word, enable):
+        return [nl.add_gate(GateType.AND, bit, enable) for bit in word]
+
+    dst_out = masked(dst_field, field_enable("dst"))
+    src_a_out = masked(src_a_field, field_enable("src_a"))
+    src_b_en = field_enable("src_b")
+    # src_b overlaps imm32 bits [35:30]; suppress it for imm32 forms.
+    src_b_en = nl.add_gate(GateType.AND, src_b_en,
+                           nl.add_gate(GateType.NOT, uses_imm32))
+    src_b_out = masked(src_b_field, src_b_en)
+    src_c_out = masked(src_c_field, field_enable("src_c"))
+
+    # Immediate bus: imm32 for *32I forms, zero-extended imm24 for
+    # memory/constant offsets, zero otherwise.
+    uses_imm24 = bd.or_reduce(nl, [fmt_line[f]
+                                   for f in (Fmt.LD, Fmt.ST, Fmt.CONSTLD)])
+    imm24_ext = masked(imm24_field, uses_imm24) + [CONST0] * 8
+    imm_bus = bd.mux_word(nl, imm24_ext, imm32_field, uses_imm32)
+
+    # Predicate guard: index 7 means unguarded.
+    pred_none = bd.equality_comparator(nl, pred_field, 7)
+    pred_en = nl.add_gate(GateType.NOT, pred_none)
+    pred_idx = masked(pred_field[:2], pred_en)
+    pred_neg = nl.add_gate(GateType.AND, pred_negate_bit, pred_en)
+
+    # Memory controls.
+    is_load = or_plane([Op.GLD, Op.SLD, Op.CLD])
+    is_store = or_plane([Op.GST, Op.SST])
+    mem_space = [
+        or_plane([op for op, code in MEM_SPACE.items() if code & 1]),
+        or_plane([op for op, code in MEM_SPACE.items() if code & 2]),
+    ]
+
+    # Branch / control signals.
+    branch_en = or_plane([Op.BRA, Op.SSY, Op.CAL])
+    target_out = masked(imm24_field, branch_en)
+    is_exit = one_hot[Op.EXIT]
+    is_ssy = one_hot[Op.SSY]
+    is_join = one_hot[Op.JOIN]
+    is_bar = one_hot[Op.BAR]
+
+    cmp_en = nl.add_gate(GateType.OR, fmt_line[Fmt.RRC], fmt_line[Fmt.PRC])
+    cmp_out = masked(mod_field[:3], cmp_en)
+    sreg_out = masked(mod_field, fmt_line[Fmt.RSREG])
+
+    outputs = {
+        "valid": [valid], "illegal": [illegal], "unit": unit_lines,
+        "writes_reg": [writes_reg], "alu_op": alu_op, "cmp": cmp_out,
+        "dst": dst_out, "src_a": src_a_out, "src_b": src_b_out,
+        "src_c": src_c_out, "imm": imm_bus, "uses_imm": [uses_imm32],
+        "pred_idx": pred_idx, "pred_neg": [pred_neg], "pred_en": [pred_en],
+        "is_load": [is_load], "is_store": [is_store], "mem_space": mem_space,
+        "branch_en": [branch_en], "target": target_out, "sreg": sreg_out,
+        "is_exit": [is_exit], "is_ssy": [is_ssy], "is_join": [is_join],
+        "is_bar": [is_bar],
+    }
+    for port, word in outputs.items():
+        for i, net in enumerate(word):
+            nl.mark_output(net, "{}[{}]".format(port, i))
+    nl.finalize()
+    return HardwareModule(
+        name="decoder_unit",
+        netlist=nl,
+        input_words={"instr": instr},
+        output_words=outputs,
+        params={},
+    )
+
+
+def reference_decode(word):
+    """Pure-Python reference of the DU outputs for instruction *word*.
+
+    Returns a dict port name -> integer value, matching the netlist ports.
+    Used by tests to cross-check the synthesized DU gate by gate.
+    """
+    from ...isa.opcodes import BY_CODE
+
+    code = (word >> 56) & 0xFF
+    op = BY_CODE.get(code)
+    out = {name: 0 for name in (
+        "valid", "illegal", "unit", "writes_reg", "alu_op", "cmp", "dst",
+        "src_a", "src_b", "src_c", "imm", "uses_imm", "pred_idx", "pred_neg",
+        "pred_en", "is_load", "is_store", "mem_space", "branch_en", "target",
+        "sreg", "is_exit", "is_ssy", "is_join", "is_bar")}
+    if op is None:
+        out["illegal"] = 1
+        # The hardware forces the SP micro-op to PASS whenever the unit
+        # select is not SP (stable don't-care), including illegal words,
+        # and decodes the guard field independently of opcode legality.
+        out["alu_op"] = SPOp.PASS.value
+        pred_field = (word >> 53) & 0x7
+        if pred_field != 7:
+            out["pred_en"] = 1
+            out["pred_idx"] = pred_field & 0x3
+            out["pred_neg"] = (word >> 52) & 1
+        return out
+    info = INFO[op]
+    out["valid"] = 1
+    out["unit"] = 1 << UNIT_ORDER.index(info.unit)
+    out["writes_reg"] = 1 if info.writes_reg else 0
+    spop = ISA_TO_SPOP.get(op, SPOp.PASS)
+    out["alu_op"] = (spop.value if info.unit is Unit.SP else SPOp.PASS.value)
+
+    fmt = info.fmt
+    dst = (word >> 46) & 0x3F
+    src_a = (word >> 40) & 0x3F
+    mod = (word >> 36) & 0xF
+    if fmt in _REG_FIELD_FORMATS["dst"]:
+        out["dst"] = dst
+    if fmt in _REG_FIELD_FORMATS["src_a"]:
+        out["src_a"] = src_a
+    uses_imm32 = fmt in (Fmt.RRI32, Fmt.RI32)
+    if fmt in _REG_FIELD_FORMATS["src_b"] and not uses_imm32:
+        out["src_b"] = (word >> 30) & 0x3F
+    if fmt in _REG_FIELD_FORMATS["src_c"]:
+        out["src_c"] = (word >> 24) & 0x3F
+    if uses_imm32:
+        out["imm"] = word & 0xFFFFFFFF
+        out["uses_imm"] = 1
+    elif fmt in (Fmt.LD, Fmt.ST, Fmt.CONSTLD):
+        out["imm"] = word & 0xFFFFFF
+    pred_field = (word >> 53) & 0x7
+    if pred_field != 7:
+        out["pred_en"] = 1
+        out["pred_idx"] = pred_field & 0x3
+        out["pred_neg"] = (word >> 52) & 1
+    if op in (Op.GLD, Op.SLD, Op.CLD):
+        out["is_load"] = 1
+    if op in (Op.GST, Op.SST):
+        out["is_store"] = 1
+    if op in MEM_SPACE:
+        out["mem_space"] = MEM_SPACE[op]
+    if op in (Op.BRA, Op.SSY, Op.CAL):
+        out["branch_en"] = 1
+        out["target"] = word & 0xFFFFFF
+    if fmt in (Fmt.RRC, Fmt.PRC):
+        out["cmp"] = mod & 0x7
+    if fmt is Fmt.RSREG:
+        out["sreg"] = mod
+    out["is_exit"] = 1 if op is Op.EXIT else 0
+    out["is_ssy"] = 1 if op is Op.SSY else 0
+    out["is_join"] = 1 if op is Op.JOIN else 0
+    out["is_bar"] = 1 if op is Op.BAR else 0
+    return out

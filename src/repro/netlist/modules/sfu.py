@@ -1,0 +1,134 @@
+"""Gate-level Special Function Unit (SFU) datapath.
+
+FlexGripPlus SMs contain two SFUs evaluating transcendental functions (RCP,
+RSQ, SIN, COS, LG2, EX2).  Real G80-class SFUs use segmented quadratic
+interpolation: the operand's top bits address a coefficient ROM and the low
+bits enter a Horner evaluation ``y = (c2 * dx + c1) * dx + c0``.  This
+generator synthesizes exactly that structure in fixed point:
+
+* input ``func`` (3 bits) selects the function, ``x`` (W bits) is the
+  operand's fraction field;
+* the top ``SEG_BITS`` bits of ``x`` plus ``func`` address a coefficient ROM
+  (an AND-OR plane) holding per-segment (c0, c1, c2) triples computed from
+  the actual math functions at build time;
+* two array multipliers and two adders implement the Horner recurrence;
+* output ``y`` (W bits).
+
+The SFU_IMM PTP of the paper targets this module (Table I/III); the paper
+notes that SFU SBs have no data dependence among them (the SFU only performs
+transcendental operations), which is why its compaction leaves FC untouched.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+from .. import builder as bd
+from ..netlist import Netlist
+
+#: Function-select codes on the ``func`` port.
+FUNC_CODES = {"RCP": 0, "RSQ": 1, "SIN": 2, "COS": 3, "LG2": 4, "EX2": 5}
+
+#: Number of operand MSBs used to select the interpolation segment.
+SEG_BITS = 3
+
+#: Default operand width used by the experiments (tests use 8).
+DEFAULT_WIDTH = 16
+
+
+def _reference_function(code, u):
+    """Mathematical function over the normalized operand u in [1, 2)."""
+    if code == FUNC_CODES["RCP"]:
+        return 1.0 / u
+    if code == FUNC_CODES["RSQ"]:
+        return 1.0 / math.sqrt(u)
+    if code == FUNC_CODES["SIN"]:
+        return math.sin(u)
+    if code == FUNC_CODES["COS"]:
+        return math.cos(u)
+    if code == FUNC_CODES["LG2"]:
+        return math.log2(u)
+    return math.exp2(u) / 4.0 if hasattr(math, "exp2") else (2.0 ** u) / 4.0
+
+
+@functools.lru_cache(maxsize=None)
+def _coefficient_tables(width):
+    """Fixed-point (c0, c1, c2) per (func, segment), as ROM word lists."""
+    mask = (1 << width) - 1
+    scale = 1 << (width - 2)
+    segments = 1 << SEG_BITS
+    c0_tab, c1_tab, c2_tab = [], [], []
+    for func in range(8):
+        for seg in range(segments):
+            if func >= len(FUNC_CODES):
+                c0_tab.append(0)
+                c1_tab.append(0)
+                c2_tab.append(0)
+                continue
+            u0 = 1.0 + seg / segments
+            h = 1.0 / segments
+            f0 = _reference_function(func, u0)
+            f1 = _reference_function(func, u0 + h / 2)
+            f2 = _reference_function(func, u0 + h)
+            # Quadratic through three points, expressed in dx in [0, 1).
+            a0 = f0
+            a1 = (-3 * f0 + 4 * f1 - f2)
+            a2 = (2 * f0 - 4 * f1 + 2 * f2)
+            c0_tab.append(int(abs(a0) * scale) & mask)
+            c1_tab.append(int(abs(a1) * scale) & mask)
+            c2_tab.append(int(abs(a2) * scale) & mask)
+    return c0_tab, c1_tab, c2_tab
+
+
+def sfu_reference_result(func, x, width=DEFAULT_WIDTH):
+    """Pure-Python reference of the SFU netlist output (bit-exact)."""
+    mask = (1 << width) - 1
+    x &= mask
+    seg = x >> (width - SEG_BITS)
+    dx = x & ((1 << (width - SEG_BITS)) - 1)
+    address = (func & 0x7) * (1 << SEG_BITS) + seg
+    c0_tab, c1_tab, c2_tab = _coefficient_tables(width)
+    c0, c1, c2 = c0_tab[address], c1_tab[address], c2_tab[address]
+    t1 = (c2 * dx) & mask
+    t2 = (t1 + c1) & mask
+    t3 = (t2 * dx) & mask
+    return (t3 + c0) & mask
+
+
+def build_sfu(width=DEFAULT_WIDTH):
+    """Synthesize the SFU datapath; returns a ``HardwareModule``."""
+    from . import HardwareModule
+
+    nl = Netlist("sfu")
+    func = nl.add_inputs(3, "func")
+    x = nl.add_inputs(width, "x")
+
+    from ..netlist import CONST0
+
+    seg = x[width - SEG_BITS:]
+    dx = x[:width - SEG_BITS]
+    # Pad dx to full width for the multipliers.
+    dx_full = list(dx) + [CONST0] * SEG_BITS
+
+    address = seg + func  # LSB first: segment bits low, func bits high
+    c0_tab, c1_tab, c2_tab = _coefficient_tables(width)
+    c0 = bd.rom(nl, address, c0_tab, width)
+    c1 = bd.rom(nl, address, c1_tab, width)
+    c2 = bd.rom(nl, address, c2_tab, width)
+
+    t1 = bd.array_multiplier(nl, c2, dx_full, out_width=width)
+    t2, __ = bd.ripple_adder(nl, t1, c1)
+    t3 = bd.array_multiplier(nl, t2, dx_full, out_width=width)
+    y, __ = bd.ripple_adder(nl, t3, c0)
+
+    for i, net in enumerate(y):
+        nl.mark_output(net, "y[{}]".format(i))
+    nl.finalize()
+    return HardwareModule(
+        name="sfu",
+        netlist=nl,
+        input_words={"func": func, "x": x},
+        output_words={"y": y},
+        params={"width": width},
+    )

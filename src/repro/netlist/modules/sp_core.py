@@ -1,0 +1,191 @@
+"""Gate-level integer datapath of one SP (Streaming Processor) core.
+
+FlexGripPlus SMs contain 8 SP cores executing the integer pipeline of a warp
+(32 threads in 4 beats of 8 lanes).  This generator synthesizes one SP core's
+execute datapath: adder/subtractor, array multiplier, multiply-accumulate,
+min/max, logic unit, barrel shifter, compare/set, and the result selection
+mux.  The paper fault-targets the SP cores with the TPGEN and RAND PTPs
+(Table I/III); this netlist is the corresponding fault-injection target.
+
+Ports (LSB first words):
+
+* inputs: ``op`` (4 bits, :class:`SPOp` code), ``cmp`` (3 bits,
+  :class:`~repro.isa.opcodes.CmpOp` code), ``a``/``b``/``c`` (W bits each).
+* outputs: ``result`` (W bits), ``pred`` (1 bit compare flag).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ...isa.opcodes import CmpOp, Op
+from .. import builder as bd
+from ..gates import GateType
+from ..netlist import CONST0, Netlist
+
+
+class SPOp(enum.Enum):
+    """4-bit micro-operation code on the SP core's ``op`` port."""
+
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    MAD = 3
+    MIN = 4
+    MAX = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    NOT = 9
+    SHL = 10
+    SHR = 11
+    SET = 12
+    SETP = 13
+    PASS = 14
+
+
+#: ISA opcode -> SP micro-op (instructions executed by the SP integer path).
+ISA_TO_SPOP = {
+    Op.IADD: SPOp.ADD, Op.IADD32I: SPOp.ADD,
+    Op.ISUB: SPOp.SUB,
+    Op.IMUL: SPOp.MUL, Op.IMUL32I: SPOp.MUL,
+    Op.IMAD: SPOp.MAD,
+    Op.IMIN: SPOp.MIN, Op.IMAX: SPOp.MAX,
+    Op.AND: SPOp.AND, Op.AND32I: SPOp.AND,
+    Op.OR: SPOp.OR, Op.OR32I: SPOp.OR,
+    Op.XOR: SPOp.XOR, Op.XOR32I: SPOp.XOR,
+    Op.NOT: SPOp.NOT,
+    Op.SHL: SPOp.SHL, Op.SHL32I: SPOp.SHL,
+    Op.SHR: SPOp.SHR, Op.SHR32I: SPOp.SHR,
+    Op.ISET: SPOp.SET,
+    Op.ISETP: SPOp.SETP,
+    Op.MOV: SPOp.PASS, Op.MOV32I: SPOp.PASS, Op.SEL: SPOp.PASS,
+    Op.S2R: SPOp.PASS,
+}
+
+#: Default datapath width used by the experiments (tests use 8).
+DEFAULT_WIDTH = 16
+
+
+def sp_reference_result(op, a, b, c, cmp_op, width=DEFAULT_WIDTH):
+    """Pure-Python reference model of the SP datapath (for verification).
+
+    Returns ``(result, pred)`` with *result* truncated to *width* bits.
+    """
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    c &= mask
+
+    def signed(value):
+        return value - (1 << width) if value >> (width - 1) else value
+
+    # The barrel shifter consumes log2(width)+1 low bits of b: the top one
+    # flushes the output, bits above it are ignored (hardware truncation).
+    shift_ceiling = max(1, (width - 1).bit_length())
+    shamt_field = b & ((1 << (shift_ceiling + 1)) - 1)
+    shamt = width if shamt_field >> shift_ceiling else (
+        shamt_field & ((1 << shift_ceiling) - 1))
+    lt = signed(a) < signed(b)
+    eq = a == b
+    cmp_true = {
+        CmpOp.LT: lt,
+        CmpOp.LE: lt or eq,
+        CmpOp.GT: not (lt or eq),
+        CmpOp.GE: not lt,
+        CmpOp.EQ: eq,
+        CmpOp.NE: not eq,
+    }[cmp_op]
+    results = {
+        SPOp.ADD: (a + b) & mask,
+        SPOp.SUB: (a - b) & mask,
+        SPOp.MUL: (a * b) & mask,
+        SPOp.MAD: (a * b + c) & mask,
+        SPOp.MIN: a if lt else b,
+        SPOp.MAX: b if lt else a,
+        SPOp.AND: a & b,
+        SPOp.OR: a | b,
+        SPOp.XOR: a ^ b,
+        SPOp.NOT: (~a) & mask,
+        SPOp.SHL: (a << shamt) & mask if shamt < width else 0,
+        SPOp.SHR: (a >> shamt) if shamt < width else 0,
+        SPOp.SET: mask if cmp_true else 0,
+        SPOp.SETP: 0,
+        SPOp.PASS: a,
+    }
+    pred = 1 if (op in (SPOp.SET, SPOp.SETP) and cmp_true) else 0
+    return results[op], pred
+
+
+def build_sp_core(width=DEFAULT_WIDTH):
+    """Synthesize one SP core datapath; returns a ``HardwareModule``."""
+    from . import HardwareModule
+
+    nl = Netlist("sp_core")
+    op = nl.add_inputs(4, "op")
+    cmp_word = nl.add_inputs(3, "cmp")
+    a = nl.add_inputs(width, "a")
+    b = nl.add_inputs(width, "b")
+    c = nl.add_inputs(width, "c")
+
+    add_out, __ = bd.ripple_adder(nl, a, b)
+    sub_out, sub_carry = bd.subtractor(nl, a, b)
+    mul_out = bd.array_multiplier(nl, a, b, out_width=width)
+    mad_out, __ = bd.ripple_adder(nl, mul_out, c)
+
+    lt_signed = bd.less_than_signed(nl, a, b)
+    eq = bd.equal_words(nl, a, b)
+    min_out = bd.mux_word(nl, b, a, lt_signed)
+    max_out = bd.mux_word(nl, a, b, lt_signed)
+
+    and_out = bd.and_word(nl, a, b)
+    or_out = bd.or_word(nl, a, b)
+    xor_out = bd.xor_word(nl, a, b)
+    not_out = bd.not_word(nl, a)
+
+    shift_bits = max(1, (width - 1).bit_length()) + 1
+    shamt = b[:shift_bits]
+    shl_out = bd.barrel_shifter(nl, a, shamt, right=False)
+    shr_out = bd.barrel_shifter(nl, a, shamt, right=True)
+
+    # Compare decode: cmp_true per CmpOp code.
+    not_lt = nl.add_gate(GateType.NOT, lt_signed)
+    not_eq = nl.add_gate(GateType.NOT, eq)
+    le = nl.add_gate(GateType.OR, lt_signed, eq)
+    gt = nl.add_gate(GateType.NOT, le)
+    cmp_lines = bd.one_hot_decoder(nl, cmp_word)
+    cmp_results = [lt_signed, le, gt, not_lt, eq, not_eq, CONST0, CONST0]
+    cmp_true = bd.or_reduce(
+        nl, [nl.add_gate(GateType.AND, line, res)
+             for line, res in zip(cmp_lines, cmp_results)])
+    set_out = [cmp_true] * width  # replicate flag across the word
+
+    zero = [CONST0] * width
+    by_code = {
+        SPOp.ADD: add_out, SPOp.SUB: sub_out, SPOp.MUL: mul_out,
+        SPOp.MAD: mad_out, SPOp.MIN: min_out, SPOp.MAX: max_out,
+        SPOp.AND: and_out, SPOp.OR: or_out, SPOp.XOR: xor_out,
+        SPOp.NOT: not_out, SPOp.SHL: shl_out, SPOp.SHR: shr_out,
+        SPOp.SET: set_out, SPOp.SETP: zero, SPOp.PASS: a,
+    }
+    valid_codes = {e.value: e for e in SPOp}
+    words = [by_code[valid_codes[code]] if code in valid_codes else zero
+             for code in range(16)]
+    result = bd.mux_tree(nl, words, op)
+
+    is_set = bd.equality_comparator(nl, op, SPOp.SET.value)
+    is_setp = bd.equality_comparator(nl, op, SPOp.SETP.value)
+    sets_pred = nl.add_gate(GateType.OR, is_set, is_setp)
+    pred = nl.add_gate(GateType.AND, sets_pred, cmp_true)
+
+    for i, net in enumerate(result):
+        nl.mark_output(net, "result[{}]".format(i))
+    nl.mark_output(pred, "pred")
+    nl.finalize()
+    return HardwareModule(
+        name="sp_core",
+        netlist=nl,
+        input_words={"op": op, "cmp": cmp_word, "a": a, "b": b, "c": c},
+        output_words={"result": result, "pred": [pred]},
+        params={"width": width},
+    )

@@ -1,0 +1,175 @@
+"""Small-Block-structured PTP construction.
+
+PTPs follow the canonical three-part structure of Section II.C: (i) thread
+registers load, (ii) parallel operation execution, (iii) propagation of the
+result to an observable point.  A *Small Block* (SB) is one such
+load/execute/propagate sequence (Section III stage 4); the generators in
+:mod:`repro.stl.generators` drive a :class:`PtpBuilder` to emit SBs, the
+shared prologue/epilogue, divergence constructs, and the PTP's test-operand
+arrays in global memory.
+
+Register conventions of generated PTPs:
+
+====  =======================================
+R0    thread id (S2R TID_X in the prologue)
+R1    signature-per-thread accumulator
+R2-9  operand / result pool of the SBs
+R20+  control scratch (CNTRL loops)
+R28-30  MISR temporaries
+====  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompactionError
+from ..gpu.config import KernelConfig
+from ..isa.instruction import Instruction, Program
+from ..isa.opcodes import Op, SpecialReg
+from .ptp import ParallelTestProgram
+from .signature import SIG_REG, emit_misr_update
+
+#: Word address where PTP input-data arrays start in global memory.
+DATA_BASE = 0x0000
+
+#: Word address of the PTP's observable output region.
+OUTPUT_BASE = 0x8000
+
+#: Word address where each thread stores its final signature.
+SIGNATURE_BASE = 0xF000
+
+TID_REG = 0
+
+
+@dataclass
+class _OpenSb:
+    start: int
+
+
+class PtpBuilder:
+    """Incremental builder for an SB-structured PTP."""
+
+    def __init__(self, name, target, kernel=None, uses_signature=False,
+                 style="pseudorandom", description=""):
+        self.name = name
+        self.target = target
+        self.kernel = kernel or KernelConfig()
+        self.uses_signature = uses_signature
+        self.style = style
+        self.description = description
+        self.instructions = []
+        self.global_image = {}
+        self.sb_hints = []
+        self._open_sb = None
+        self._data_ptr = DATA_BASE
+        self._labels = {}
+        self._pending_targets = []  # (instr_index, label)
+        self._output_slot = 0
+
+    # -- data -----------------------------------------------------------------
+
+    def alloc_data(self, values):
+        """Place *values* (one word per thread) in global memory.
+
+        Returns the load offset: thread ``t`` reads ``[R0 + offset]``.
+        """
+        offset = self._data_ptr
+        for i, value in enumerate(values):
+            self.global_image[offset + i] = value & 0xFFFFFFFF
+        self._data_ptr += max(len(values), self.kernel.block_threads)
+        if self._data_ptr >= OUTPUT_BASE:
+            raise CompactionError("PTP data region overflow")
+        return offset
+
+    def next_output_offset(self):
+        """Rotating per-SB output slot in the observable region."""
+        offset = OUTPUT_BASE + (self._output_slot % 64) * (
+            self.kernel.block_threads)
+        self._output_slot += 1
+        return offset
+
+    # -- instructions -----------------------------------------------------------
+
+    def emit(self, instr):
+        self.instructions.append(instr)
+        return len(self.instructions) - 1
+
+    def emit_all(self, instrs):
+        for instr in instrs:
+            self.emit(instr)
+
+    def label(self, name):
+        """Bind *name* to the next instruction index."""
+        if name in self._labels:
+            raise CompactionError("duplicate label {!r}".format(name))
+        self._labels[name] = len(self.instructions)
+
+    def emit_branch(self, op, label, pred=None):
+        """Emit a branch to a (possibly forward) label."""
+        instr = Instruction(op, target=0, pred=pred)
+        index = self.emit(instr)
+        self._pending_targets.append((index, label))
+        return index
+
+    # -- small blocks --------------------------------------------------------------
+
+    def begin_sb(self):
+        if self._open_sb is not None:
+            raise CompactionError("begin_sb inside an open SB")
+        self._open_sb = _OpenSb(len(self.instructions))
+
+    def end_sb(self):
+        if self._open_sb is None:
+            raise CompactionError("end_sb without begin_sb")
+        end = len(self.instructions)
+        if end > self._open_sb.start:
+            self.sb_hints.append((self._open_sb.start, end))
+        self._open_sb = None
+
+    # -- canonical pieces -------------------------------------------------------------
+
+    def emit_prologue(self):
+        """tid and signature initialization (never removable)."""
+        self.emit(Instruction(Op.S2R, dst=TID_REG, sreg=SpecialReg.TID_X))
+        if self.uses_signature:
+            self.emit(Instruction(Op.MOV32I, dst=SIG_REG, imm=0))
+
+    def emit_epilogue(self):
+        """Signature store (when used) and EXIT."""
+        if self.uses_signature:
+            self.emit(Instruction(Op.GST, src_a=TID_REG, src_b=SIG_REG,
+                                  imm=SIGNATURE_BASE))
+        self.emit(Instruction(Op.EXIT))
+
+    def emit_misr_update(self, result_reg):
+        self.emit_all(emit_misr_update(result_reg))
+
+    def emit_store_result(self, result_reg):
+        """Propagate *result_reg* to the observable output region."""
+        self.emit(Instruction(Op.GST, src_a=TID_REG, src_b=result_reg,
+                              imm=self.next_output_offset()))
+
+    # -- finish ----------------------------------------------------------------------
+
+    def build(self):
+        """Resolve labels and return the :class:`ParallelTestProgram`."""
+        if self._open_sb is not None:
+            raise CompactionError("unclosed SB at build()")
+        for index, label in self._pending_targets:
+            if label not in self._labels:
+                raise CompactionError("undefined label {!r}".format(label))
+            self.instructions[index] = self.instructions[index].with_target(
+                self._labels[label])
+        program = Program(list(self.instructions), dict(self._labels))
+        return ParallelTestProgram(
+            name=self.name,
+            target=self.target,
+            program=program,
+            kernel=self.kernel,
+            global_image=dict(self.global_image),
+            style=self.style,
+            description=self.description,
+            sb_hints=list(self.sb_hints),
+            uses_signature=self.uses_signature,
+        )

@@ -1,0 +1,17 @@
+"""The six PTP generators of the evaluated STL (Table I of the paper).
+
+* Decoder Unit: :func:`generate_imm`, :func:`generate_mem`,
+  :func:`generate_cntrl` (pseudorandom styles);
+* SP cores: :func:`generate_tpgen` (ATPG-based), :func:`generate_rand`
+  (pseudorandom);
+* SFUs: :func:`generate_sfu_imm` (ATPG-based).
+"""
+
+from .atpg_based import generate_sfu_imm, generate_tpgen
+from .cntrl import generate_cntrl
+from .imm import generate_imm
+from .mem import generate_mem
+from .rand_sp import generate_rand
+
+__all__ = ["generate_imm", "generate_mem", "generate_cntrl",
+           "generate_rand", "generate_tpgen", "generate_sfu_imm"]

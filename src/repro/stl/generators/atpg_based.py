@@ -1,0 +1,250 @@
+"""ATPG-based PTP generators: TPGEN (SP cores) and SFU_IMM (SFUs).
+
+"The TPGEN resorts to test patterns extracted from an ATPG.  A parser tool
+converted the ATPG test patterns into valid instructions for the GPU.  The
+test patterns are converted partially due to a lack of fully equivalent
+instructions ...  The SFU_IMM employs an ATPG tool that generates the test
+patterns to test the SFU; then, a parser tool converts those test patterns
+into GPU instructions." (Section IV).
+
+The parser here performs the same partial conversion:
+
+* SP patterns whose 4-bit ``op`` field does not encode a valid
+  :class:`~repro.netlist.modules.sp_core.SPOp`, or whose ``cmp`` field is
+  not a valid comparison for SET/SETP patterns, are skipped (no equivalent
+  instruction exists);
+* convertible patterns are grouped by (micro-op, cmp) — one machine
+  instruction carries a single opcode for all 32 threads — and each group
+  chunk becomes one SB whose per-thread operands are loaded from global
+  memory arrays initialized with the pattern data;
+* SFU patterns with an out-of-range ``func`` field are skipped; each
+  surviving pattern becomes one immediate-based SB (MOV32I / SFU-op / GST),
+  identical across threads.
+"""
+
+from __future__ import annotations
+
+from ...errors import CompactionError
+from ...faults.atpg import run_atpg
+from ...gpu.config import KernelConfig
+from ...isa.instruction import Instruction
+from ...isa.opcodes import CmpOp, Op
+from ...netlist.modules.sfu import FUNC_CODES
+from ...netlist.modules.sp_core import SPOp
+from ..builder import PtpBuilder, TID_REG
+
+#: SP micro-op -> ISA instruction used to realize its patterns.
+SPOP_TO_ISA = {
+    SPOp.ADD: Op.IADD, SPOp.SUB: Op.ISUB, SPOp.MUL: Op.IMUL,
+    SPOp.MAD: Op.IMAD, SPOp.MIN: Op.IMIN, SPOp.MAX: Op.IMAX,
+    SPOp.AND: Op.AND, SPOp.OR: Op.OR, SPOp.XOR: Op.XOR,
+    SPOp.NOT: Op.NOT, SPOp.SHL: Op.SHL, SPOp.SHR: Op.SHR,
+    SPOp.SET: Op.ISET, SPOp.SETP: Op.ISETP, SPOp.PASS: Op.MOV,
+}
+
+#: SFU func code -> ISA instruction.
+FUNC_TO_ISA = {
+    FUNC_CODES["RCP"]: Op.RCP, FUNC_CODES["RSQ"]: Op.RSQ,
+    FUNC_CODES["SIN"]: Op.SIN, FUNC_CODES["COS"]: Op.COS,
+    FUNC_CODES["LG2"]: Op.LG2, FUNC_CODES["EX2"]: Op.EX2,
+}
+
+_OPERAND_REGS = (2, 3, 4)
+_RESULT_REG = 5
+
+
+def _sp_pattern_tuples(module, atpg_result):
+    """Decode the ATPG pattern set into (op, cmp, a, b, c) tuples."""
+    patterns = atpg_result.patterns
+    words = module.input_words
+    tuples = []
+    for k in range(patterns.count):
+        def word_value(port):
+            value = 0
+            for i, net in enumerate(words[port]):
+                value |= patterns.value_of(net, k) << i
+            return value
+        tuples.append((word_value("op"), word_value("cmp"),
+                       word_value("a"), word_value("b"), word_value("c")))
+    return tuples
+
+
+def generate_tpgen(sp_module, seed=0, atpg_random_patterns=512,
+                   atpg_max_backtracks=25, atpg_podem_fault_limit=None,
+                   kernel=None, max_sbs=None):
+    """Generate the TPGEN PTP from an ATPG campaign on *sp_module*.
+
+    Args:
+        sp_module: the SP-core :class:`HardwareModule` (the ATPG target).
+        seed: deterministic seed for the ATPG's random phase and padding.
+        atpg_random_patterns / atpg_max_backtracks: ATPG effort knobs.
+        kernel: kernel configuration (default 1 block x 32 threads).
+        max_sbs: optional cap on emitted SBs (truncates the campaign).
+
+    Returns:
+        (ptp, atpg_result): the PTP plus the raw ATPG outcome, so callers
+        can report pattern counts and conversion losses.
+    """
+    if sp_module.name != "sp_core":
+        raise CompactionError("TPGEN needs the sp_core module")
+    atpg_result = run_atpg(sp_module, seed=seed,
+                           random_patterns=atpg_random_patterns,
+                           max_backtracks=atpg_max_backtracks,
+                           podem_fault_limit=atpg_podem_fault_limit)
+    tuples = _sp_pattern_tuples(sp_module, atpg_result)
+
+    kernel = kernel or KernelConfig(grid_blocks=1, block_threads=32)
+    threads = kernel.block_threads
+    builder = PtpBuilder(
+        name="TPGEN", target="sp_core", kernel=kernel,
+        style="atpg", uses_signature=True,
+        description="SP-core test converted from ATPG patterns")
+    builder.emit_prologue()
+
+    valid_spops = {e.value: e for e in SPOp}
+    valid_cmps = {c.value for c in CmpOp}
+    groups = {}  # (SPOp, cmp) -> list of (a, b, c), in discovery order
+    order = []
+    skipped = 0
+    for op_code, cmp_code, a, b, c in tuples:
+        spop = valid_spops.get(op_code)
+        if spop is None:
+            skipped += 1  # no equivalent instruction: partial conversion
+            continue
+        if spop in (SPOp.SET, SPOp.SETP) and cmp_code not in valid_cmps:
+            skipped += 1
+            continue
+        cmp_code = cmp_code if cmp_code in valid_cmps else 0
+        key = (spop, cmp_code)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((a, b, c))
+
+    sbs = 0
+    done = False
+    for key in order:
+        if done:
+            break
+        spop, cmp_code = key
+        data = groups[key]
+        for chunk_start in range(0, len(data), threads):
+            if max_sbs is not None and sbs >= max_sbs:
+                done = True
+                break
+            chunk = data[chunk_start:chunk_start + threads]
+            while len(chunk) < threads:
+                chunk.append(chunk[-1])  # pad ragged chunks
+            _emit_tpgen_sb(builder, spop, cmp_code, chunk)
+            sbs += 1
+
+    builder.emit_epilogue()
+    ptp = builder.build()
+    ptp.description += " ({} patterns, {} skipped in conversion)".format(
+        len(tuples), skipped)
+    return ptp, atpg_result
+
+
+def _emit_tpgen_sb(builder, spop, cmp_code, chunk):
+    """One TPGEN SB: per-thread operand loads, the op, the SpT update."""
+    builder.begin_sb()
+    isa_op = SPOP_TO_ISA[spop]
+    needs_c = spop is SPOp.MAD
+    # (i) operand arrays -> registers, one element per thread.
+    off_a = builder.alloc_data([a for a, __, __ in chunk])
+    builder.emit(Instruction(Op.GLD, dst=_OPERAND_REGS[0], src_a=TID_REG,
+                             imm=off_a))
+    if isa_op not in (Op.NOT, Op.MOV):
+        off_b = builder.alloc_data([b for __, b, __ in chunk])
+        builder.emit(Instruction(Op.GLD, dst=_OPERAND_REGS[1],
+                                 src_a=TID_REG, imm=off_b))
+    if needs_c:
+        off_c = builder.alloc_data([c for __, __, c in chunk])
+        builder.emit(Instruction(Op.GLD, dst=_OPERAND_REGS[2],
+                                 src_a=TID_REG, imm=off_c))
+    # (ii) the converted test operation.
+    if isa_op is Op.ISETP:
+        builder.emit(Instruction(Op.ISETP, dst=2, src_a=_OPERAND_REGS[0],
+                                 src_b=_OPERAND_REGS[1],
+                                 cmp=CmpOp(cmp_code)))
+        # Make the predicate observable through the SpT.
+        builder.emit(Instruction(Op.SEL, dst=_RESULT_REG, src_c=2,
+                                 src_a=_OPERAND_REGS[0],
+                                 src_b=_OPERAND_REGS[1]))
+    elif isa_op is Op.ISET:
+        builder.emit(Instruction(Op.ISET, dst=_RESULT_REG,
+                                 src_a=_OPERAND_REGS[0],
+                                 src_b=_OPERAND_REGS[1],
+                                 cmp=CmpOp(cmp_code)))
+    elif isa_op in (Op.NOT, Op.MOV):
+        builder.emit(Instruction(isa_op, dst=_RESULT_REG,
+                                 src_a=_OPERAND_REGS[0]))
+    elif isa_op is Op.IMAD:
+        builder.emit(Instruction(Op.IMAD, dst=_RESULT_REG,
+                                 src_a=_OPERAND_REGS[0],
+                                 src_b=_OPERAND_REGS[1],
+                                 src_c=_OPERAND_REGS[2]))
+    else:
+        builder.emit(Instruction(isa_op, dst=_RESULT_REG,
+                                 src_a=_OPERAND_REGS[0],
+                                 src_b=_OPERAND_REGS[1]))
+    # (iii) propagate into the SpT.
+    builder.emit_misr_update(_RESULT_REG)
+    builder.end_sb()
+
+
+def generate_sfu_imm(sfu_module, seed=0, atpg_random_patterns=256,
+                     atpg_max_backtracks=15, atpg_podem_fault_limit=None,
+                     kernel=None, max_sbs=None):
+    """Generate the SFU_IMM PTP from an ATPG campaign on *sfu_module*.
+
+    Each surviving ATPG pattern becomes one immediate-based SB; there is no
+    data dependence between SBs (results are stored directly), which is why
+    compaction cannot change this PTP's FC (Section IV).
+
+    Returns:
+        (ptp, atpg_result).
+    """
+    if sfu_module.name != "sfu":
+        raise CompactionError("SFU_IMM needs the sfu module")
+    atpg_result = run_atpg(sfu_module, seed=seed,
+                           random_patterns=atpg_random_patterns,
+                           max_backtracks=atpg_max_backtracks,
+                           podem_fault_limit=atpg_podem_fault_limit)
+    patterns = atpg_result.patterns
+    words = sfu_module.input_words
+
+    kernel = kernel or KernelConfig(grid_blocks=1, block_threads=32)
+    builder = PtpBuilder(
+        name="SFU_IMM", target="sfu", kernel=kernel, style="atpg",
+        description="SFU test converted from ATPG patterns")
+    builder.emit_prologue()
+
+    skipped = 0
+    emitted = 0
+    for k in range(patterns.count):
+        if max_sbs is not None and emitted >= max_sbs:
+            break
+        func = 0
+        for i, net in enumerate(words["func"]):
+            func |= patterns.value_of(net, k) << i
+        x = 0
+        for i, net in enumerate(words["x"]):
+            x |= patterns.value_of(net, k) << i
+        isa_op = FUNC_TO_ISA.get(func)
+        if isa_op is None:
+            skipped += 1  # func 6/7: no SFU instruction exists
+            continue
+        builder.begin_sb()
+        builder.emit(Instruction(Op.MOV32I, dst=_OPERAND_REGS[0], imm=x))
+        builder.emit(Instruction(isa_op, dst=_RESULT_REG,
+                                 src_a=_OPERAND_REGS[0]))
+        builder.emit_store_result(_RESULT_REG)
+        builder.end_sb()
+        emitted += 1
+
+    builder.emit_epilogue()
+    ptp = builder.build()
+    ptp.description += " ({} patterns, {} skipped in conversion)".format(
+        patterns.count, skipped)
+    return ptp, atpg_result

@@ -1,0 +1,93 @@
+"""Shared utilities for the PTP generators.
+
+The paper's PTPs were "developed by a specialized test engineer resorting to
+a pseudorandom approach using all instruction formats of the supported
+assembly language" (IMM/MEM/CNTRL/RAND) or converted from ATPG patterns
+(TPGEN/SFU_IMM).  These helpers provide the deterministic pseudorandom
+machinery those styles share.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...isa.instruction import Instruction
+from ...isa.opcodes import CmpOp, Op
+
+#: Operand-pool registers the SBs load and operate on.
+POOL_REGS = (2, 3, 4, 5, 6, 7, 8, 9)
+
+#: Interesting corner words mixed into pseudorandom operand streams.
+CORNER_VALUES = (0x00000000, 0xFFFFFFFF, 0x00000001, 0x80000000,
+                 0x7FFFFFFF, 0x55555555, 0xAAAAAAAA, 0x0000FFFF,
+                 0xFFFF0000, 0x00FF00FF)
+
+#: Register-to-register ops usable in pseudorandom DU/SP test bodies.
+REGISTER_OPS = (Op.IADD, Op.ISUB, Op.IMUL, Op.IMAD, Op.IMIN, Op.IMAX,
+                Op.AND, Op.OR, Op.XOR, Op.NOT, Op.SHL, Op.SHR,
+                Op.ISET, Op.MOV)
+
+#: Immediate-operand ops ("all instruction formats using at least one
+#: immediate operand", Section IV).
+IMMEDIATE_OPS = (Op.IADD32I, Op.IMUL32I, Op.AND32I, Op.OR32I, Op.XOR32I,
+                 Op.SHL32I, Op.SHR32I, Op.MOV32I, Op.FADD32I, Op.FMUL32I)
+
+#: FP register ops (decoded by the DU, executed by the FP32 units).
+FP_OPS = (Op.FADD, Op.FMUL, Op.FMAD, Op.FSET, Op.F2I, Op.I2F)
+
+#: SP-core ops whose result lands in a pool register (for SpT updates).
+SP_TEST_OPS = (Op.IADD, Op.ISUB, Op.IMUL, Op.IMAD, Op.IMIN, Op.IMAX,
+               Op.AND, Op.OR, Op.XOR, Op.NOT, Op.SHL, Op.SHR, Op.ISET)
+
+
+def random_word(rng):
+    """Pseudorandom 32-bit operand with corner-value bias."""
+    if rng.random() < 0.25:
+        return rng.choice(CORNER_VALUES)
+    return rng.getrandbits(32)
+
+
+def random_pool_reg(rng):
+    return rng.choice(POOL_REGS)
+
+
+def random_cmp(rng):
+    return rng.choice(list(CmpOp))
+
+
+def random_test_instruction(rng, ops, dst=None):
+    """One pseudorandom test instruction over the pool registers.
+
+    Operands are drawn from :data:`POOL_REGS`; immediate forms get a
+    pseudorandom 32-bit immediate.
+    """
+    from ...isa.opcodes import Fmt, info
+
+    op = rng.choice(list(ops))
+    dst = dst if dst is not None else random_pool_reg(rng)
+    a = random_pool_reg(rng)
+    b = random_pool_reg(rng)
+    c = random_pool_reg(rng)
+    kwargs = {"op": op, "dst": dst}
+    fmt = info(op).fmt
+    if fmt is Fmt.RRR:
+        kwargs.update(src_a=a, src_b=b)
+    elif fmt is Fmt.RRRR:
+        kwargs.update(src_a=a, src_b=b, src_c=c)
+    elif fmt is Fmt.RRI32:
+        kwargs.update(src_a=a, imm=random_word(rng))
+    elif fmt is Fmt.RI32:
+        kwargs.update(imm=random_word(rng))
+    elif fmt is Fmt.RR:
+        kwargs.update(src_a=a)
+    elif fmt is Fmt.RRC:
+        kwargs.update(src_a=a, src_b=b, cmp=random_cmp(rng))
+    else:
+        raise ValueError("unsupported test op format {!r}".format(fmt))
+    return Instruction(**kwargs)
+
+
+def make_rng(seed, salt):
+    """Deterministic per-generator RNG (independent streams per salt)."""
+    mixed = (seed * 0x9E3779B1 + sum(ord(ch) * 131 for ch in salt))
+    return random.Random(mixed & 0x7FFFFFFF)

@@ -1,0 +1,109 @@
+"""CNTRL PTP generator — Decoder Unit, control-flow conditions.
+
+"The CNTRL PTP uses immediate-based instructions, memory-addressing
+instructions, and register-based instructions to generate special
+conditions to be used by the control flow instructions." (Section IV).
+Paper configuration: one block, 1024 threads (32 warps); the scaled default
+here is 128 threads.
+
+The program has two region kinds:
+
+* *divergence SBs* (admissible): set a per-thread condition with ISETP,
+  then exercise SSY / predicated-BRA / JOIN reconvergence, and store a
+  result;
+* a *parametric loop* (inadmissible): the trip count is loaded from
+  constant memory at run time, so the loop's BBs are excluded from the ARC
+  (Section III stage 1) — this is why CNTRL's ARC is 90% and its duration
+  compacts far less than its size (Table II).
+"""
+
+from __future__ import annotations
+
+from ...gpu.config import KernelConfig
+from ...isa.instruction import Instruction, Pred
+from ...isa.opcodes import CmpOp, Op
+from ..builder import PtpBuilder, TID_REG
+from . import base
+
+#: Constant-memory word holding the parametric loop's trip count.
+TRIP_COUNT_SLOT = 0x10
+
+#: Registers used by the parametric loop (outside the SB pool).
+LOOP_COUNT_REG = 20
+LOOP_LIMIT_REG = 21
+LOOP_ACC_REG = 22
+
+
+def generate_cntrl(seed=0, num_sbs=18, loop_trip=12, loop_body_sbs=2,
+                   kernel=None):
+    """Generate the CNTRL PTP (see module docstring).
+
+    Args:
+        seed: deterministic generation seed.
+        num_sbs: divergence SBs in the admissible region.
+        loop_trip: runtime trip count placed in constant memory.
+        loop_body_sbs: SB-shaped bodies inside the parametric loop
+            (inadmissible region, roughly 10% of the PTP).
+        kernel: kernel configuration (default 1 block x 128 threads — the
+            paper uses 1024; scaled for pure-Python runtimes).
+    """
+    rng = base.make_rng(seed, "cntrl")
+    kernel = kernel or KernelConfig(grid_blocks=1, block_threads=128)
+    const_words = dict(kernel.const_words)
+    const_words[TRIP_COUNT_SLOT] = loop_trip
+    kernel = KernelConfig(grid_blocks=kernel.grid_blocks,
+                          block_threads=kernel.block_threads,
+                          const_words=const_words)
+
+    builder = PtpBuilder(
+        name="CNTRL", target="decoder_unit", kernel=kernel,
+        style="pseudorandom",
+        description="DU test, control-flow conditions with divergence and "
+                    "a parametric loop")
+    builder.emit_prologue()
+
+    for sb_index in range(num_sbs):
+        builder.begin_sb()
+        cond_reg, work_reg = rng.sample(base.POOL_REGS, 2)
+        # (i) condition operands: immediate, register, or memory sourced.
+        builder.emit(Instruction(Op.MOV32I, dst=cond_reg,
+                                 imm=rng.randrange(kernel.block_threads)))
+        builder.emit(Instruction(Op.MOV32I, dst=work_reg,
+                                 imm=base.random_word(rng)))
+        # (ii) per-thread condition and a divergent region.
+        builder.emit(Instruction(Op.ISETP, dst=0, src_a=TID_REG,
+                                 src_b=cond_reg, cmp=base.random_cmp(rng)))
+        join_label = "join_{}".format(sb_index)
+        builder.emit_branch(Op.SSY, join_label)
+        builder.emit_branch(Op.BRA, join_label, pred=Pred(0))
+        for __ in range(rng.randint(2, 4)):
+            builder.emit(base.random_test_instruction(
+                rng, base.REGISTER_OPS + base.IMMEDIATE_OPS, dst=work_reg))
+        builder.label(join_label)
+        builder.emit(Instruction(Op.JOIN))
+        # (iii) propagate.
+        builder.emit_store_result(work_reg)
+        builder.end_sb()
+
+    # Inadmissible region: parametric loop, trip count from constant memory.
+    builder.emit(Instruction(Op.CLD, dst=LOOP_LIMIT_REG,
+                             imm=TRIP_COUNT_SLOT))
+    builder.emit(Instruction(Op.MOV32I, dst=LOOP_COUNT_REG, imm=0))
+    builder.emit(Instruction(Op.MOV32I, dst=LOOP_ACC_REG, imm=0))
+    builder.label("loop")
+    for __ in range(loop_body_sbs):
+        builder.emit(Instruction(Op.MOV32I, dst=base.random_pool_reg(rng),
+                                 imm=base.random_word(rng)))
+        for __i in range(3):
+            builder.emit(base.random_test_instruction(
+                rng, base.REGISTER_OPS, dst=LOOP_ACC_REG))
+        builder.emit(Instruction(Op.GST, src_a=TID_REG, src_b=LOOP_ACC_REG,
+                                 imm=builder.next_output_offset()))
+    builder.emit(Instruction(Op.IADD32I, dst=LOOP_COUNT_REG,
+                             src_a=LOOP_COUNT_REG, imm=1))
+    builder.emit(Instruction(Op.ISETP, dst=1, src_a=LOOP_COUNT_REG,
+                             src_b=LOOP_LIMIT_REG, cmp=CmpOp.LT))
+    builder.emit_branch(Op.BRA, "loop", pred=Pred(1))
+
+    builder.emit_epilogue()
+    return builder.build()

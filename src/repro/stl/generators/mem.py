@@ -1,0 +1,87 @@
+"""MEM PTP generator — Decoder Unit, memory-access instruction formats.
+
+"The MEM PTP is composed of instructions that perform memory accesses
+(global memory and shared memory)." (Section IV).  Configuration: one
+block, 32 threads.
+
+Each SB loads address/data registers, then issues a pseudorandom mix of
+GLD/GST/SLD/SST/CLD with varied offsets — every memory instruction word is
+a DU pattern exercising the load/store decode paths — and propagates a
+loaded value back to the observable region.
+"""
+
+from __future__ import annotations
+
+from ...gpu.config import KernelConfig
+from ...isa.instruction import Instruction
+from ...isa.opcodes import Op
+from ..builder import PtpBuilder, TID_REG
+from . import base
+
+#: Shared-memory scratch window used by SLD/SST (per-thread addressed).
+SHARED_WINDOW = 1024
+
+#: Constant-bank words preloaded for CLD coverage.
+CONST_WINDOW = 64
+
+
+def generate_mem(seed=0, num_sbs=120, kernel=None):
+    """Generate the MEM PTP (see module docstring)."""
+    rng = base.make_rng(seed, "mem")
+    kernel = kernel or KernelConfig(grid_blocks=1, block_threads=32)
+    const_words = dict(kernel.const_words)
+    for i in range(CONST_WINDOW):
+        const_words[i] = base.random_word(rng)
+    kernel = KernelConfig(grid_blocks=kernel.grid_blocks,
+                          block_threads=kernel.block_threads,
+                          const_words=const_words)
+
+    builder = PtpBuilder(
+        name="MEM", target="decoder_unit", kernel=kernel,
+        style="pseudorandom",
+        description="DU test, global/shared/constant memory access formats")
+    builder.emit_prologue()
+
+    threads = kernel.block_threads
+    for __ in range(num_sbs):
+        builder.begin_sb()
+        # (i) load data registers to be stored and an input-data array.
+        data_reg, aux_reg = rng.sample(base.POOL_REGS, 2)
+        builder.emit(Instruction(Op.MOV32I, dst=data_reg,
+                                 imm=base.random_word(rng)))
+        input_off = builder.alloc_data(
+            [base.random_word(rng) for __t in range(threads)])
+        # (ii) memory-access body with varied formats and offsets.
+        body = rng.randint(9, 12)
+        loaded_reg = data_reg
+        for __i in range(body):
+            kind = rng.random()
+            if kind < 0.25:
+                loaded_reg = base.random_pool_reg(rng)
+                builder.emit(Instruction(Op.GLD, dst=loaded_reg,
+                                         src_a=TID_REG, imm=input_off))
+            elif kind < 0.45:
+                builder.emit(Instruction(
+                    Op.GST, src_a=TID_REG, src_b=loaded_reg,
+                    imm=builder.next_output_offset()))
+            elif kind < 0.65:
+                offset = rng.randrange(0, SHARED_WINDOW - threads)
+                builder.emit(Instruction(Op.SST, src_a=TID_REG,
+                                         src_b=data_reg, imm=offset))
+                builder.emit(Instruction(Op.SLD, dst=aux_reg,
+                                         src_a=TID_REG, imm=offset))
+            elif kind < 0.8:
+                builder.emit(Instruction(Op.CLD, dst=aux_reg,
+                                         imm=rng.randrange(CONST_WINDOW)))
+            else:
+                # Register-format address arithmetic keeps the DU's
+                # non-memory decode paths toggling between accesses.
+                builder.emit(base.random_test_instruction(
+                    rng, base.REGISTER_OPS))
+        # (iii) propagate the last loaded value.
+        builder.emit(Instruction(Op.GST, src_a=TID_REG, src_b=loaded_reg,
+                                 imm=builder.next_output_offset()))
+        builder.end_sb()
+
+    builder.emit_epilogue()
+    return builder.build()

@@ -1,0 +1,54 @@
+"""RAND PTP generator — SP cores, pseudorandom patterns.
+
+"RAND is a pseudorandom-based PTP specially designed to test all SP cores
+of any SM in the GPU." (Section IV).  Configuration: one block, 32 threads
+(so all 8 SP lanes see patterns on every beat).
+
+Each SB loads pool registers with pseudorandom immediates, decorrelates
+them across threads by XOR-ing with the thread id (each lane then applies a
+distinct pattern to its SP core), executes a handful of pseudorandom SP
+operations, and folds the last result into the signature-per-thread.
+"""
+
+from __future__ import annotations
+
+from ...gpu.config import KernelConfig
+from ...isa.instruction import Instruction
+from ...isa.opcodes import Op
+from ..builder import PtpBuilder, TID_REG
+from . import base
+
+
+def generate_rand(seed=0, num_sbs=220, kernel=None):
+    """Generate the RAND PTP (see module docstring)."""
+    rng = base.make_rng(seed, "rand")
+    builder = PtpBuilder(
+        name="RAND", target="sp_core",
+        kernel=kernel or KernelConfig(grid_blocks=1, block_threads=32),
+        style="pseudorandom", uses_signature=True,
+        description="SP-core test, pseudorandom operations and operands")
+    builder.emit_prologue()
+
+    for __ in range(num_sbs):
+        builder.begin_sb()
+        # (i) operand load: random immediates, thread-decorrelated.
+        operand_regs = rng.sample(base.POOL_REGS, 3)
+        for reg in operand_regs:
+            builder.emit(Instruction(Op.MOV32I, dst=reg,
+                                     imm=base.random_word(rng)))
+            if rng.random() < 0.5:
+                builder.emit(Instruction(Op.XOR, dst=reg, src_a=reg,
+                                         src_b=TID_REG))
+        # (ii) pseudorandom SP operations over the pool.
+        result_reg = operand_regs[-1]
+        ops = rng.randint(2, 4)
+        for i in range(ops):
+            dst = result_reg if i == ops - 1 else None
+            builder.emit(base.random_test_instruction(rng, base.SP_TEST_OPS,
+                                                      dst=dst))
+        # (iii) propagate into the SpT.
+        builder.emit_misr_update(result_reg)
+        builder.end_sb()
+
+    builder.emit_epilogue()
+    return builder.build()

@@ -1,0 +1,85 @@
+"""PTP persistence: save/load a PTP as a directory of text artifacts.
+
+A saved PTP directory contains::
+
+    program.asm   the instruction sequence (assembler syntax)
+    ptp.json      metadata: name, target, style, kernel geometry, constant
+                  bank, SB hints, signature flag
+    memory.json   the initial global-memory image (operand arrays)
+
+Everything is human-readable, mirroring the paper's text-file toolchain,
+and round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import ReportError
+from ..gpu.config import KernelConfig
+from ..isa.assembler import assemble
+from ..isa.disassembler import disassemble
+from .ptp import ParallelTestProgram
+
+_PROGRAM_FILE = "program.asm"
+_META_FILE = "ptp.json"
+_MEMORY_FILE = "memory.json"
+
+
+def save_ptp(ptp, directory):
+    """Write *ptp* into *directory* (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, _PROGRAM_FILE), "w") as handle:
+        handle.write(disassemble(list(ptp.program)) + "\n")
+    meta = {
+        "name": ptp.name,
+        "target": ptp.target,
+        "style": ptp.style,
+        "description": ptp.description,
+        "uses_signature": ptp.uses_signature,
+        "sb_hints": [list(pair) for pair in ptp.sb_hints],
+        "kernel": {
+            "grid_blocks": ptp.kernel.grid_blocks,
+            "block_threads": ptp.kernel.block_threads,
+            "const_words": {str(k): v
+                            for k, v in ptp.kernel.const_words.items()},
+        },
+    }
+    with open(os.path.join(directory, _META_FILE), "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+    with open(os.path.join(directory, _MEMORY_FILE), "w") as handle:
+        json.dump({str(k): v for k, v in ptp.global_image.items()},
+                  handle, indent=0, sort_keys=True)
+
+
+def load_ptp(directory):
+    """Load a PTP previously written by :func:`save_ptp`."""
+    try:
+        with open(os.path.join(directory, _PROGRAM_FILE)) as handle:
+            program = assemble(handle.read())
+        with open(os.path.join(directory, _META_FILE)) as handle:
+            meta = json.load(handle)
+        with open(os.path.join(directory, _MEMORY_FILE)) as handle:
+            memory = {int(k): v for k, v in json.load(handle).items()}
+    except OSError as exc:
+        raise ReportError("cannot load PTP from {!r}: {}".format(directory,
+                                                                 exc))
+    kernel_meta = meta.get("kernel", {})
+    kernel = KernelConfig(
+        grid_blocks=kernel_meta.get("grid_blocks", 1),
+        block_threads=kernel_meta.get("block_threads", 32),
+        const_words={int(k): v for k, v in kernel_meta.get(
+            "const_words", {}).items()},
+    )
+    return ParallelTestProgram(
+        name=meta["name"],
+        target=meta["target"],
+        program=program,
+        kernel=kernel,
+        global_image=memory,
+        style=meta.get("style", "pseudorandom"),
+        description=meta.get("description", ""),
+        sb_hints=[tuple(pair) for pair in meta.get("sb_hints", [])],
+        uses_signature=meta.get("uses_signature", False),
+    )

@@ -1,0 +1,103 @@
+"""Parallel Test Program (PTP) and Self-Test Library (STL) containers.
+
+An STL for GPUs is composed of several PTPs, each targeting one module with
+a given kernel configuration (Section II.C).  A :class:`ParallelTestProgram`
+bundles the instruction sequence, the kernel launch geometry, the initial
+global-memory image holding the PTP's test operands, and bookkeeping the
+compaction tool uses (target module name, generation style, observable
+memory ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import CompactionError
+from ..gpu.config import KernelConfig
+from ..isa.instruction import Program
+
+
+@dataclass
+class ParallelTestProgram:
+    """One PTP of an STL.
+
+    Attributes:
+        name: PTP identifier (e.g. ``"IMM"``).
+        target: fault-target module name (``"decoder_unit"``, ``"sp_core"``,
+            ``"sfu"``).
+        program: the instruction sequence.
+        kernel: the kernel launch configuration.
+        global_image: initial global-memory contents (test operand arrays).
+        style: generation style, ``"pseudorandom"`` or ``"atpg"``.
+        description: free-text provenance note.
+        sb_hints: optional list of (start, end) instruction-index pairs the
+            generator knows to be Small Blocks — used by tests to validate
+            the structural SB detector, never by the compaction flow itself.
+        uses_signature: True when the PTP accumulates results in a
+            signature-per-thread (SpT) instead of storing each result.
+    """
+
+    name: str
+    target: str
+    program: Program
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    global_image: dict = field(default_factory=dict)
+    style: str = "pseudorandom"
+    description: str = ""
+    sb_hints: list = field(default_factory=list)
+    uses_signature: bool = False
+
+    @property
+    def size(self):
+        """Static size in instructions (the paper's Table I 'Size')."""
+        return len(self.program)
+
+    def with_program(self, program, name=None):
+        """Copy of this PTP with a replaced instruction sequence."""
+        return replace(self, program=program, sb_hints=[],
+                       name=name or self.name)
+
+
+class SelfTestLibrary:
+    """An ordered collection of PTPs (the STL)."""
+
+    def __init__(self, ptps=()):
+        self.ptps = list(ptps)
+        names = [p.name for p in self.ptps]
+        if len(set(names)) != len(names):
+            raise CompactionError("duplicate PTP names in STL")
+
+    def __iter__(self):
+        return iter(self.ptps)
+
+    def __len__(self):
+        return len(self.ptps)
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            for ptp in self.ptps:
+                if ptp.name == key:
+                    return ptp
+            raise KeyError(key)
+        return self.ptps[key]
+
+    def add(self, ptp):
+        if any(p.name == ptp.name for p in self.ptps):
+            raise CompactionError("PTP {!r} already in STL".format(ptp.name))
+        self.ptps.append(ptp)
+
+    def replace(self, name, new_ptp):
+        """Swap the PTP called *name* for *new_ptp* (STL reassembly)."""
+        for i, ptp in enumerate(self.ptps):
+            if ptp.name == name:
+                self.ptps[i] = new_ptp
+                return
+        raise KeyError(name)
+
+    def targeting(self, module_name):
+        """PTPs that target *module_name*, in STL order."""
+        return [p for p in self.ptps if p.target == module_name]
+
+    @property
+    def total_size(self):
+        return sum(p.size for p in self.ptps)

@@ -1,0 +1,87 @@
+"""Signature-per-thread (SpT): the MISR-like observability mechanism.
+
+PTPs targeting the SP cores do not store every result; each thread folds its
+test-operation results into a signature register with a MISR-like update
+(Section IV: "The SpT is updated by the SP-cores, applying a MISR-like
+algorithm, taking each test operation's result"), and stores the signature
+once at the end.  The update implemented by the generated code is::
+
+    sig = rotl(sig, 1) ^ result        (32-bit)
+
+This module provides the software model of that fold (used to predict
+signatures), the emitter for the corresponding 4-instruction sequence, and
+the *difference fold* used by the signature-observability FC evaluation: by
+linearity of XOR, a fault's effect on the final signature equals the fold
+of its per-result difference values, so aliasing (cancellation) can be
+computed from module-level fault simulation diffs alone.
+"""
+
+from __future__ import annotations
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Op
+
+MASK32 = 0xFFFFFFFF
+
+
+def rotl(value, amount, width=32):
+    """Rotate *value* left by *amount* within *width* bits."""
+    amount %= width
+    mask = (1 << width) - 1
+    value &= mask
+    return ((value << amount) | (value >> (width - amount))) & mask
+
+
+def misr_update(signature, result, width=32):
+    """One SpT update step: ``rotl(sig, 1) ^ result``."""
+    return rotl(signature, 1, width) ^ (result & ((1 << width) - 1))
+
+
+def misr_fold(values, width=32, initial=0):
+    """Fold a result sequence into a final signature."""
+    signature = initial
+    for value in values:
+        signature = misr_update(signature, value, width)
+    return signature
+
+
+def difference_fold(diff_by_position, length, width=32):
+    """Final-signature difference caused by per-step result differences.
+
+    Args:
+        diff_by_position: dict position -> result-difference value, where
+            *position* indexes the thread's update sequence (0-based).
+        length: total number of updates the thread performs.
+        width: MISR width.
+
+    Returns:
+        The XOR difference of the final signature; 0 means the fault
+        aliases (is NOT observable through the signature).
+    """
+    total = 0
+    for position, diff in diff_by_position.items():
+        remaining = length - 1 - position
+        total ^= rotl(diff, remaining, width)
+    return total
+
+
+#: Registers reserved by generated PTPs for the SpT machinery.
+SIG_REG = 1       # running signature
+SIG_TMP_A = 28    # rotl partial (left shift)
+SIG_TMP_B = 29    # rotl partial (right shift)
+SIG_TMP_C = 30    # rotated signature
+
+
+def emit_misr_update(result_reg):
+    """Instruction sequence performing ``sig = rotl(sig,1) ^ result_reg``.
+
+    Four SP-core instructions (they apply additional SP test patterns, as
+    the paper notes the SpT procedure "detects additional faults in the
+    SPs").
+    """
+    return [
+        Instruction(Op.SHL32I, dst=SIG_TMP_A, src_a=SIG_REG, imm=1),
+        Instruction(Op.SHR32I, dst=SIG_TMP_B, src_a=SIG_REG, imm=31),
+        Instruction(Op.OR, dst=SIG_TMP_C, src_a=SIG_TMP_A, src_b=SIG_TMP_B),
+        Instruction(Op.XOR, dst=SIG_REG, src_a=SIG_TMP_C, src_b=result_reg),
+    ]

@@ -1,0 +1,43 @@
+"""Experiment driver details not covered by the integration suite."""
+
+import pytest
+
+from repro.analysis import Experiment, ExperimentScale, SMOKE
+
+
+def test_scale_is_frozen_and_overridable():
+    scale = ExperimentScale(datapath_width=8, imm_sbs=3)
+    assert scale.datapath_width == 8
+    assert scale.imm_sbs == 3
+    with pytest.raises(Exception):
+        scale.imm_sbs = 4  # frozen dataclass
+
+
+def test_modules_and_stl_are_cached():
+    experiment = Experiment(SMOKE)
+    assert experiment.modules is experiment.modules
+    first = experiment.stl
+    assert experiment.stl is first
+
+
+def test_stl_respects_scale_knobs():
+    scale = ExperimentScale(datapath_width=8, imm_sbs=3, mem_sbs=2,
+                            cntrl_sbs=2, rand_sbs=2,
+                            tpgen_random_patterns=16,
+                            tpgen_max_backtracks=2,
+                            tpgen_podem_fault_limit=5,
+                            sfu_random_patterns=16, sfu_max_backtracks=2,
+                            sfu_podem_fault_limit=5)
+    experiment = Experiment(scale)
+    stl = experiment.stl
+    assert len(stl["IMM"].sb_hints) == 3
+    assert len(stl["MEM"].sb_hints) == 2
+    assert len(stl["RAND"].sb_hints) == 2
+    assert experiment.modules["sp_core"].params["width"] == 8
+
+
+def test_atpg_results_exposed():
+    experiment = Experiment(SMOKE)
+    experiment.stl  # force generation
+    assert set(experiment._atpg) == {"TPGEN", "SFU_IMM"}
+    assert experiment._atpg["TPGEN"].patterns.count > 0

@@ -1,0 +1,35 @@
+"""Table rendering edge cases."""
+
+from repro.analysis.tables import (TableRow, _fmt, compaction_rows,
+                                   render_compaction_table, render_table1,
+                                   table1_rows)
+
+
+def test_fmt_handles_none_float_int():
+    assert _fmt(None) == "-"
+    assert _fmt(1.234) == "1.23"
+    assert _fmt(42) == "42"
+    assert _fmt(-98.6, "{:+.2f}") == "-98.60"
+
+
+def test_table1_unknown_ptp_gets_dash_paper_columns():
+    rows = table1_rows({"MYSTERY": {"size": 9, "arc": 50.0,
+                                    "duration": 99, "fc": 12.0}})
+    text = render_table1(rows)
+    assert "MYSTERY" in text
+    assert " - " in text or text.rstrip().endswith("-")
+
+
+def test_compaction_table_with_missing_fc():
+    rows = compaction_rows(
+        {"X": {"size": 1, "size_pct": -50.0, "duration": 10,
+               "duration_pct": -40.0, "fc_diff": None, "seconds": None}},
+        {})
+    text = render_compaction_table(rows, "T")
+    assert "X" in text
+    assert "-50.00" in text
+
+
+def test_table_row_defaults():
+    row = TableRow("n", {"size": 1})
+    assert row.paper == {}

@@ -1,0 +1,50 @@
+"""Baseline program rebuilding: branch remap and label survival."""
+
+from repro.baselines.iterative import _rebuild
+from repro.gpu.config import KernelConfig
+from repro.isa import assemble
+from repro.isa.opcodes import Op
+from repro.stl.ptp import ParallelTestProgram
+
+
+def _ptp():
+    program = assemble("""
+        S2R R0, TID_X
+        MOV32I R2, 0x1
+        BRA tgt
+        MOV32I R3, 0x2
+    tgt:
+        GST [R0+0x0], R2
+        EXIT
+    """)
+    return ParallelTestProgram(name="P", target="decoder_unit",
+                               program=program, kernel=KernelConfig())
+
+
+def test_rebuild_keeps_everything_is_identity():
+    ptp = _ptp()
+    instructions = list(ptp.program)
+    rebuilt = _rebuild(ptp, instructions, [True] * len(instructions), "_x")
+    assert list(rebuilt.program) == instructions
+    assert rebuilt.name == "P_x"
+
+
+def test_rebuild_remaps_branch_past_removed_code():
+    ptp = _ptp()
+    instructions = list(ptp.program)
+    keep = [True, True, True, False, True, True]  # drop the dead MOV32I
+    rebuilt = _rebuild(ptp, instructions, keep, "_x")
+    ops = [i.op for i in rebuilt.program]
+    assert ops == [Op.S2R, Op.MOV32I, Op.BRA, Op.GST, Op.EXIT]
+    bra = rebuilt.program[2]
+    assert rebuilt.program[bra.target].op is Op.GST
+    assert rebuilt.program.labels["tgt"] == bra.target
+
+
+def test_rebuild_target_at_removed_instruction_falls_forward():
+    ptp = _ptp()
+    instructions = list(ptp.program)
+    keep = [True, True, True, False, False, True]  # drop target GST too
+    rebuilt = _rebuild(ptp, instructions, keep, "_x")
+    bra = rebuilt.program[2]
+    assert rebuilt.program[bra.target].op is Op.EXIT

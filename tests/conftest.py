@@ -1,0 +1,32 @@
+"""Shared fixtures: small synthesized modules and a GPU model.
+
+Module builds are session-scoped (the netlists are immutable once
+finalized) so the suite pays construction cost once.
+"""
+
+import pytest
+
+from repro.gpu import Gpu
+from repro.netlist.modules import build_decoder_unit, build_sfu, build_sp_core
+
+TEST_WIDTH = 8
+
+
+@pytest.fixture(scope="session")
+def du_module():
+    return build_decoder_unit()
+
+
+@pytest.fixture(scope="session")
+def sp_module():
+    return build_sp_core(TEST_WIDTH)
+
+
+@pytest.fixture(scope="session")
+def sfu_module():
+    return build_sfu(TEST_WIDTH)
+
+
+@pytest.fixture(scope="session")
+def gpu():
+    return Gpu()

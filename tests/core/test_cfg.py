@@ -1,0 +1,152 @@
+"""CFG construction: leaders, edges, loops, immediate-only analysis."""
+
+from repro.core.cfg import (build_cfg, find_leaders, find_loops,
+                            is_immediate_only_def, natural_loop)
+from repro.isa import assemble
+
+
+def test_straight_line_is_one_block():
+    program = assemble("NOP\nNOP\nNOP\nEXIT")
+    cfg = build_cfg(list(program))
+    assert cfg.num_blocks == 1
+    assert cfg.blocks[0].successors == []
+
+
+def test_leaders_at_branch_targets_and_fallthroughs():
+    program = assemble("""
+        NOP
+        BRA tgt
+        NOP
+    tgt:
+        NOP
+        EXIT
+    """)
+    assert find_leaders(list(program)) == [0, 2, 3]
+
+
+def test_conditional_branch_has_two_successors():
+    program = assemble("""
+        ISETP P0, R1, R2, LT
+    @P0 BRA tgt
+        NOP
+    tgt:
+        EXIT
+    """)
+    cfg = build_cfg(list(program))
+    head = cfg.block_at(0)
+    assert sorted(head.successors) == [1, 2]
+
+
+def test_unconditional_branch_single_successor():
+    program = assemble("""
+        BRA tgt
+        NOP
+    tgt:
+        EXIT
+    """)
+    cfg = build_cfg(list(program))
+    assert cfg.block_at(0).successors == [2]
+
+
+def test_exit_terminates_block():
+    program = assemble("EXIT\nNOP")
+    cfg = build_cfg(list(program))
+    assert cfg.block_at(0).successors == []
+
+
+def test_single_block_self_loop():
+    program = assemble("""
+    loop:
+        IADD32I R1, R1, 0x1
+        ISETP P0, R1, R2, LT
+    @P0 BRA loop
+        EXIT
+    """)
+    cfg = build_cfg(list(program))
+    loops = find_loops(cfg)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop["head"] == loop["tail"]
+    # The natural loop must contain ONLY the loop block, not the whole CFG.
+    assert loop["body"] == {loop["head"]}
+
+
+def test_multi_block_loop_body():
+    program = assemble("""
+        NOP
+    head:
+        ISETP P0, R1, R2, LT
+    @P0 BRA body
+        BRA done
+    body:
+        NOP
+        BRA head
+    done:
+        EXIT
+    """)
+    cfg = build_cfg(list(program))
+    loops = find_loops(cfg)
+    assert len(loops) == 1
+    body_pcs = set()
+    for block_index in loops[0]["body"]:
+        block = cfg.blocks[block_index]
+        body_pcs.update(range(block.start, block.end))
+    assert 0 not in body_pcs      # preheader NOP outside
+    assert 1 in body_pcs          # head
+    assert 4 in body_pcs          # body NOP
+    assert 6 not in body_pcs      # exit block outside
+
+
+def test_ssy_target_is_leader():
+    program = assemble("""
+        SSY join
+        NOP
+    join:
+        JOIN
+        EXIT
+    """)
+    assert 2 in find_leaders(list(program))
+
+
+def test_block_of_pc_consistent():
+    program = assemble("""
+        NOP
+        BRA t
+        NOP
+    t:
+        EXIT
+    """)
+    cfg = build_cfg(list(program))
+    for block in cfg.blocks:
+        for pc in range(block.start, block.end):
+            assert cfg.block_of_pc[pc] == block.index
+
+
+def test_immediate_only_def_chain():
+    program = assemble("""
+        MOV32I R1, 0x5
+        IADD32I R2, R1, 0x1
+        IADD R3, R1, R2
+        CLD R4, c[0x0]
+        IADD R5, R3, R4
+        EXIT
+    """)
+    instrs = list(program)
+    assert is_immediate_only_def(instrs, 0)
+    assert is_immediate_only_def(instrs, 1)
+    assert is_immediate_only_def(instrs, 2)
+    assert not is_immediate_only_def(instrs, 3)   # constant-memory load
+    assert not is_immediate_only_def(instrs, 4)   # tainted by R4
+
+
+def test_s2r_and_loads_are_runtime_defs():
+    program = assemble("""
+        S2R R1, TID_X
+        GLD R2, [R1+0x0]
+        MOV R3, R2
+        EXIT
+    """)
+    instrs = list(program)
+    assert not is_immediate_only_def(instrs, 0)
+    assert not is_immediate_only_def(instrs, 1)
+    assert not is_immediate_only_def(instrs, 2)

@@ -1,0 +1,112 @@
+"""Stage 1 — ARC identification."""
+
+from repro.core.partition import partition_ptp
+from repro.gpu.config import KernelConfig
+from repro.isa import assemble
+from repro.stl.ptp import ParallelTestProgram
+
+
+def _ptp(source, name="T"):
+    return ParallelTestProgram(name=name, target="decoder_unit",
+                               program=assemble(source),
+                               kernel=KernelConfig())
+
+
+def test_straight_line_is_fully_admissible():
+    partition = partition_ptp(_ptp("""
+        MOV32I R1, 0x1
+        IADD R2, R1, R1
+        GST [R2+0x0], R1
+        EXIT
+    """))
+    assert partition.arc_percent() == 100.0
+    assert not partition.inadmissible_blocks
+    assert not partition.loops
+
+
+def test_immediate_trip_count_loop_is_admissible():
+    """A loop whose steering values are immediate-only stays in the ARC."""
+    partition = partition_ptp(_ptp("""
+        MOV32I R1, 0x0
+        MOV32I R2, 0x4
+    loop:
+        IADD32I R1, R1, 0x1
+        ISETP P0, R1, R2, LT
+    @P0 BRA loop
+        EXIT
+    """))
+    assert len(partition.loops) == 1
+    assert not partition.loops[0]["parametric"]
+    assert partition.arc_percent() == 100.0
+
+
+def test_constant_memory_trip_count_is_parametric():
+    partition = partition_ptp(_ptp("""
+        CLD R2, c[0x10]
+        MOV32I R1, 0x0
+    loop:
+        IADD32I R1, R1, 0x1
+        ISETP P0, R1, R2, LT
+    @P0 BRA loop
+        EXIT
+    """))
+    assert len(partition.loops) == 1
+    assert partition.loops[0]["parametric"]
+    assert partition.inadmissible_blocks
+    assert partition.arc_percent() < 100.0
+
+
+def test_tid_dependent_trip_count_is_parametric():
+    partition = partition_ptp(_ptp("""
+        S2R R2, TID_X
+        MOV32I R1, 0x0
+    loop:
+        IADD32I R1, R1, 0x1
+        ISETP P0, R1, R2, LT
+    @P0 BRA loop
+        EXIT
+    """))
+    assert partition.loops[0]["parametric"]
+
+
+def test_unconditional_infinite_loop_is_conservatively_parametric():
+    partition = partition_ptp(_ptp("""
+        NOP
+    loop:
+        NOP
+        BRA loop
+    """))
+    assert partition.loops and partition.loops[0]["parametric"]
+
+
+def test_is_admissible_pc_matches_blocks():
+    partition = partition_ptp(_ptp("""
+        CLD R2, c[0x0]
+        MOV32I R1, 0x0
+    loop:
+        IADD32I R1, R1, 0x1
+        ISETP P0, R1, R2, LT
+    @P0 BRA loop
+        MOV32I R3, 0x1
+        EXIT
+    """))
+    # The loop pcs (2..4) are inadmissible; prologue and tail admissible.
+    assert partition.is_admissible_pc(0)
+    assert not partition.is_admissible_pc(2)
+    assert not partition.is_admissible_pc(4)
+    assert partition.is_admissible_pc(5)
+
+
+def test_arc_counts_are_consistent():
+    partition = partition_ptp(_ptp("""
+        CLD R2, c[0x0]
+    loop:
+        IADD32I R1, R1, 0x1
+        ISETP P0, R1, R2, LT
+    @P0 BRA loop
+        EXIT
+    """))
+    assert (partition.arc_instruction_count
+            + sum(partition.cfg.blocks[b].size
+                  for b in partition.inadmissible_blocks)
+            == partition.total_instruction_count)

@@ -1,0 +1,83 @@
+"""Property-based tests over the compaction pipeline's core invariants.
+
+Each property runs the real pipeline on freshly generated PTPs under many
+seeds; these are the contracts the paper's method guarantees by
+construction.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CompactionPipeline, run_logic_tracing
+from repro.core.labeling import ESSENTIAL
+from repro.core.partition import partition_ptp
+from repro.core.reduction import segment_small_blocks
+from repro.stl import generate_cntrl, generate_imm
+
+seeds = st.integers(0, 10_000)
+
+
+@given(seeds)
+@settings(max_examples=8, deadline=None)
+def test_compaction_is_idempotent(du_module, gpu, seed):
+    """Compacting a compacted PTP removes nothing further (all surviving
+    SBs carry essential instructions against the same fault list)."""
+    ptp = generate_imm(seed=seed, num_sbs=10)
+    first = CompactionPipeline(du_module, gpu=gpu).compact(ptp,
+                                                           evaluate=False)
+    second = CompactionPipeline(du_module, gpu=gpu).compact(
+        first.compacted, evaluate=False)
+    assert second.compacted_size == first.compacted_size
+
+
+@given(seeds)
+@settings(max_examples=8, deadline=None)
+def test_segmentation_is_a_partition(du_module, seed):
+    """SBs cover every pc exactly once, in order."""
+    ptp = generate_cntrl(seed=seed, num_sbs=5)
+    partition = partition_ptp(ptp)
+    blocks = segment_small_blocks(ptp, partition)
+    covered = [pc for sb in blocks for pc in sb.pcs()]
+    assert covered == list(range(ptp.size))
+
+
+@given(seeds)
+@settings(max_examples=6, deadline=None)
+def test_detected_faults_never_lost_by_compaction(du_module, gpu, seed):
+    """Module-output observability: every fault the stage-3 simulation
+    detected is still detected by the compacted PTP (DU patterns are
+    context-free, and every first-detecting pattern survives)."""
+    from repro.faults import FaultSimulator
+
+    ptp = generate_imm(seed=seed, num_sbs=8)
+    pipeline = CompactionPipeline(du_module, gpu=gpu)
+    outcome = pipeline.compact(ptp, evaluate=False)
+    detected_before = set(outcome.fault_result.detected_faults)
+
+    tracing = run_logic_tracing(outcome.compacted, du_module, gpu=gpu)
+    result = FaultSimulator(du_module.netlist).run(
+        tracing.pattern_report.to_pattern_set(),
+        outcome.fault_result.fault_list)
+    assert detected_before <= set(result.detected_faults)
+
+
+@given(seeds)
+@settings(max_examples=6, deadline=None)
+def test_essential_count_bounds_compacted_size(du_module, gpu, seed):
+    """The CPTP keeps at least every essential instruction and never
+    exceeds the original size."""
+    ptp = generate_imm(seed=seed, num_sbs=8)
+    outcome = CompactionPipeline(du_module, gpu=gpu).compact(
+        ptp, evaluate=False)
+    essential = sum(1 for label in outcome.labeled.labels
+                    if label == ESSENTIAL)
+    assert essential <= outcome.compacted_size <= ptp.size
+
+
+@given(seeds)
+@settings(max_examples=6, deadline=None)
+def test_compacted_duration_counts_match_rerun(du_module, gpu, seed):
+    ptp = generate_imm(seed=seed, num_sbs=6)
+    outcome = CompactionPipeline(du_module, gpu=gpu).compact(
+        ptp, evaluate=False)
+    rerun = run_logic_tracing(outcome.compacted, du_module, gpu=gpu)
+    assert rerun.cycles == outcome.compacted_cycles

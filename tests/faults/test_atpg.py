@@ -1,0 +1,113 @@
+"""ATPG: PODEM on hand-built circuits, untestability, campaign behavior."""
+
+import pytest
+
+from repro.faults import (FaultList, FaultSimulator, OUTPUT_PIN, PodemEngine,
+                          StuckAtFault, run_atpg)
+from repro.netlist import CONST0, GateType, Netlist, PatternSet
+from repro.netlist.modules import HardwareModule
+
+
+def _chain():
+    """out = NOT(AND(a, OR(b, c)))"""
+    nl = Netlist("chain")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    c = nl.add_input("c")
+    o = nl.add_gate(GateType.OR, b, c)
+    g = nl.add_gate(GateType.AND, a, o)
+    out = nl.add_gate(GateType.NOT, g)
+    nl.mark_output(out)
+    nl.finalize()
+    return nl, a, b, c, o, g, out
+
+
+def _confirm(nl, fault, cube):
+    patterns = PatternSet(nl)
+    patterns.add({net: cube.get(net, 0) for net in nl.inputs})
+    result = FaultSimulator(nl).run(patterns, FaultList(nl, [fault]))
+    return result.num_detected == 1
+
+
+@pytest.mark.parametrize("stuck_at", [0, 1])
+def test_podem_generates_valid_tests_for_all_stem_faults(stuck_at):
+    nl, a, b, c, o, g, out = _chain()
+    engine = PodemEngine(nl)
+    for net in (a, b, c, o, g, out):
+        gate = nl.driver_of(net)
+        fault = StuckAtFault(net, gate, OUTPUT_PIN, stuck_at)
+        status, cube = engine.generate(fault)
+        assert status == "detected", fault.describe(nl)
+        assert _confirm(nl, fault, cube), fault.describe(nl)
+
+
+def test_podem_proves_redundant_fault_untestable():
+    # out = OR(a, NOT(a)) is constantly 1: its s-a-1 fault is untestable.
+    nl = Netlist("red")
+    a = nl.add_input("a")
+    na = nl.add_gate(GateType.NOT, a)
+    out = nl.add_gate(GateType.OR, a, na)
+    nl.mark_output(out)
+    nl.finalize()
+    engine = PodemEngine(nl)
+    status, __ = engine.generate(StuckAtFault(out, 1, OUTPUT_PIN, 1))
+    assert status == "untestable"
+
+
+def test_podem_handles_input_pin_faults():
+    nl, a, b, c, o, g, out = _chain()
+    engine = PodemEngine(nl)
+    # AND gate's pin reading `o`, stuck-at-1 (branch fault).
+    and_gate = nl.driver_of(g)
+    fault = StuckAtFault(o, and_gate, 1, 1)
+    status, cube = engine.generate(fault)
+    assert status == "detected"
+    assert _confirm(nl, fault, cube)
+
+
+def test_podem_respects_backtrack_limit():
+    nl, *_ = _chain()
+    engine = PodemEngine(nl, max_backtracks=0)
+    # With zero backtracks some faults may still pass (first try), but the
+    # engine must never raise.
+    for fault in FaultList(nl):
+        status, __ = engine.generate(fault)
+        assert status in ("detected", "untestable", "aborted")
+
+
+def _module(nl):
+    return HardwareModule(name=nl.name, netlist=nl,
+                          input_words={"in": list(nl.inputs)},
+                          output_words={"out": list(nl.outputs)})
+
+
+def test_run_atpg_full_campaign_high_coverage():
+    nl, *_ = _chain()
+    result = run_atpg(_module(nl), seed=3, random_patterns=16)
+    fl = FaultList(nl)
+    # The chain circuit has no redundancy: everything should be detected.
+    assert not result.aborted
+    assert not result.untestable
+    assert result.coverage(len(fl)) == pytest.approx(100.0)
+    # Every emitted pattern is attributed at least one fault.
+    assert len(result.pattern_faults) == result.patterns.count
+    replay = FaultSimulator(nl).run(result.patterns, fl)
+    assert replay.num_detected == len(fl)
+
+
+def test_run_atpg_is_deterministic():
+    nl1, *_ = _chain()
+    nl2, *_ = _chain()
+    r1 = run_atpg(_module(nl1), seed=9, random_patterns=8)
+    r2 = run_atpg(_module(nl2), seed=9, random_patterns=8)
+    assert r1.patterns.count == r2.patterns.count
+    assert [sorted(f.net for f in group) for group in r1.pattern_faults] \
+        == [sorted(f.net for f in group) for group in r2.pattern_faults]
+
+
+def test_run_atpg_random_phase_stops_when_everything_detected():
+    nl, *_ = _chain()
+    result = run_atpg(_module(nl), seed=1, random_patterns=4096,
+                      random_batch=16)
+    # Far fewer patterns than requested: dropping empties the list early.
+    assert result.patterns.count < 200

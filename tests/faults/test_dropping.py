@@ -1,0 +1,71 @@
+"""Cross-PTP fault dropping (FaultListReport)."""
+
+import pytest
+
+from repro.errors import FaultSimError
+from repro.faults import FaultListReport
+from repro.netlist import GateType, Netlist
+
+
+def _netlist():
+    nl = Netlist("d")
+    a = nl.add_input()
+    b = nl.add_input()
+    x = nl.add_gate(GateType.AND, a, b)
+    y = nl.add_gate(GateType.XOR, x, b)
+    nl.mark_output(y)
+    nl.finalize()
+    return nl
+
+
+def test_initially_full():
+    report = FaultListReport(_netlist())
+    assert report.remaining_faults == report.total_faults
+    assert report.detected_faults == 0
+    assert report.coverage() == 0.0
+
+
+def test_drop_shrinks_remaining():
+    report = FaultListReport(_netlist())
+    victims = list(report.remaining)[:3]
+    dropped = report.drop(victims, "IMM")
+    assert dropped == 3
+    assert report.remaining_faults == report.total_faults - 3
+    assert all(report.detected_by(v) == "IMM" for v in victims)
+
+
+def test_double_drop_is_idempotent():
+    report = FaultListReport(_netlist())
+    victims = list(report.remaining)[:2]
+    report.drop(victims, "IMM")
+    assert report.drop(victims, "MEM") == 0  # already gone, counted once
+    assert report.detected_by(victims[0]) == "IMM"
+
+
+def test_unknown_fault_rejected():
+    from repro.faults import OUTPUT_PIN, StuckAtFault
+
+    report = FaultListReport(_netlist())
+    bogus = StuckAtFault(999, None, OUTPUT_PIN, 0)
+    with pytest.raises(FaultSimError):
+        report.drop([bogus], "X")
+
+
+def test_coverage_accumulates_across_ptps():
+    report = FaultListReport(_netlist())
+    total = report.total_faults
+    first = list(report.remaining)[: total // 2]
+    report.drop(first, "IMM")
+    second = list(report.remaining)[:2]
+    report.drop(second, "MEM")
+    assert report.detected_faults == len(first) + 2
+    assert report.coverage() == pytest.approx(
+        100.0 * (len(first) + 2) / total)
+
+
+def test_reset_restores_everything():
+    report = FaultListReport(_netlist())
+    report.drop(list(report.remaining)[:4], "IMM")
+    report.reset()
+    assert report.remaining_faults == report.total_faults
+    assert report.detected_by(report.full_list[0]) is None

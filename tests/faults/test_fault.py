@@ -1,0 +1,101 @@
+"""Fault model: enumeration, collapsing rules, fault lists."""
+
+import pytest
+
+from repro.errors import FaultSimError
+from repro.faults import FaultList, OUTPUT_PIN, StuckAtFault, enumerate_faults
+from repro.netlist import CONST0, GateType, Netlist
+
+
+def _net():
+    nl = Netlist("f")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    x = nl.add_gate(GateType.AND, a, b)       # gate 0
+    y = nl.add_gate(GateType.NOT, x)          # gate 1
+    z = nl.add_gate(GateType.OR, x, b)        # gate 2 (x and b have fanout 2)
+    nl.mark_output(y)
+    nl.mark_output(z)
+    nl.finalize()
+    return nl, a, b, x, y, z
+
+
+def test_stem_faults_on_all_inputs_and_gate_outputs():
+    nl, a, b, x, y, z = _net()
+    faults = enumerate_faults(nl, collapse=False)
+    stems = {(f.net, f.stuck_at) for f in faults if f.is_stem()}
+    for net in (a, b, x, y, z):
+        assert (net, 0) in stems and (net, 1) in stems
+
+
+def test_collapse_drops_not_buf_input_faults():
+    nl, a, b, x, y, z = _net()
+    faults = enumerate_faults(nl, collapse=True)
+    assert not any(f.gate == 1 and not f.is_stem() for f in faults)
+
+
+def test_collapse_drops_controlling_input_faults():
+    nl, a, b, x, y, z = _net()
+    faults = enumerate_faults(nl, collapse=True)
+    # AND input s-a-0 is equivalent to output s-a-0: dropped.
+    assert not any(f.gate == 0 and not f.is_stem() and f.stuck_at == 0
+                   for f in faults)
+    # OR input s-a-1 equivalent to output s-a-1: dropped.
+    assert not any(f.gate == 2 and not f.is_stem() and f.stuck_at == 1
+                   for f in faults)
+
+
+def test_collapse_keeps_noncontrolling_faults_on_fanout_nets():
+    nl, a, b, x, y, z = _net()
+    faults = enumerate_faults(nl, collapse=True)
+    # b feeds gates 0 and 2 (fanout): AND pin s-a-1 branch fault survives.
+    assert any(f.gate == 0 and f.net == b and f.stuck_at == 1
+               and not f.is_stem() for f in faults)
+
+
+def test_collapsed_is_subset_of_uncollapsed():
+    nl, *_ = _net()
+    collapsed = set(enumerate_faults(nl, collapse=True))
+    full = set(enumerate_faults(nl, collapse=False))
+    assert collapsed < full
+
+
+def test_constant_tied_pins_skipped():
+    nl = Netlist("c")
+    a = nl.add_input()
+    x = nl.add_gate(GateType.AND, a, CONST0)
+    nl.mark_output(x)
+    nl.finalize()
+    faults = enumerate_faults(nl, collapse=False)
+    assert not any(f.net == CONST0 for f in faults)
+
+
+def test_enumeration_is_deterministic():
+    nl1, *_ = _net()
+    nl2, *_ = _net()
+    assert enumerate_faults(nl1) == enumerate_faults(nl2)
+
+
+def test_fault_list_ids_and_without():
+    nl, *_ = _net()
+    fl = FaultList(nl)
+    assert len(fl) > 0
+    first = fl[0]
+    assert fl.id_of(first) == 0
+    smaller = fl.without([first])
+    assert len(smaller) == len(fl) - 1
+    assert first not in set(smaller)
+
+
+def test_fault_list_rejects_duplicates():
+    nl, a, *_ = _net()
+    fault = StuckAtFault(a, None, OUTPUT_PIN, 0)
+    with pytest.raises(FaultSimError):
+        FaultList(nl, [fault, fault])
+
+
+def test_describe_mentions_site():
+    nl, a, *_ = _net()
+    fault = StuckAtFault(a, None, OUTPUT_PIN, 1)
+    text = fault.describe(nl)
+    assert "s-a-1" in text and "a" in text

@@ -1,0 +1,133 @@
+"""Transition-delay fault model (the paper's future-work extension)."""
+
+import pytest
+
+from repro.faults import (FALL, RISE, TransitionFault,
+                          TransitionFaultSimulator,
+                          enumerate_transition_faults)
+from repro.netlist import GateType, Netlist, PatternSet
+
+
+def _buf():
+    nl = Netlist("buf")
+    a = nl.add_input("a")
+    out = nl.add_gate(GateType.BUF, a)
+    nl.mark_output(out)
+    nl.finalize()
+    return nl, a, out
+
+
+def test_enumeration_covers_both_edges():
+    nl, a, out = _buf()
+    faults = enumerate_transition_faults(nl)
+    assert TransitionFault(a, RISE) in faults
+    assert TransitionFault(a, FALL) in faults
+    assert TransitionFault(out, RISE) in faults
+    assert len(faults) == 4
+
+
+def test_rise_needs_zero_to_one_launch():
+    nl, a, out = _buf()
+    patterns = PatternSet(nl)
+    for value in (0, 1, 1, 0, 1):
+        patterns.add({a: value})
+    sim = TransitionFaultSimulator(nl)
+    result = sim.run(patterns, [TransitionFault(a, RISE)])
+    # Launches at pattern 1 (0->1) and 4 (0->1); capture propagates.
+    assert result.detection_words[0] == 0b10010
+    assert result.first_detection[0] == 1
+
+
+def test_fall_needs_one_to_zero_launch():
+    nl, a, out = _buf()
+    patterns = PatternSet(nl)
+    for value in (1, 0, 0, 1, 0):
+        patterns.add({a: value})
+    sim = TransitionFaultSimulator(nl)
+    result = sim.run(patterns, [TransitionFault(a, FALL)])
+    assert result.detection_words[0] == 0b10010
+    assert result.first_detection[0] == 1
+
+
+def test_first_pattern_never_detects():
+    nl, a, out = _buf()
+    patterns = PatternSet(nl)
+    patterns.add({a: 1})  # would need a predecessor for the launch
+    sim = TransitionFaultSimulator(nl)
+    result = sim.run(patterns, [TransitionFault(a, RISE)])
+    assert result.first_detection == [None]
+
+
+def test_constant_stream_detects_nothing():
+    nl, a, out = _buf()
+    patterns = PatternSet(nl)
+    for __ in range(5):
+        patterns.add({a: 1})
+    sim = TransitionFaultSimulator(nl)
+    result = sim.run(patterns)
+    assert result.num_detected == 0
+
+
+def test_capture_must_propagate():
+    # out = AND(a, b): a rise on `a` launched while b=0 is not captured.
+    nl = Netlist("and")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    out = nl.add_gate(GateType.AND, a, b)
+    nl.mark_output(out)
+    nl.finalize()
+    patterns = PatternSet(nl)
+    patterns.add({a: 0, b: 0})
+    patterns.add({a: 1, b: 0})  # launch without propagation (b blocks)
+    patterns.add({a: 0, b: 1})
+    patterns.add({a: 1, b: 1})  # launch AND capture
+    sim = TransitionFaultSimulator(nl)
+    result = sim.run(patterns, [TransitionFault(a, RISE)])
+    assert result.detection_words[0] == 0b1000
+    assert result.first_detection[0] == 3
+
+
+def test_transition_coverage_below_stuck_at():
+    """Transition detection requires launch + capture, so a pattern set's
+    transition coverage never exceeds its stem stuck-at coverage."""
+    import random
+
+    from repro.faults import FaultList, FaultSimulator, OUTPUT_PIN
+
+    from repro.netlist.modules import build_sp_core
+
+    sp = build_sp_core(8)
+    rng = random.Random(5)
+    patterns = sp.new_pattern_set()
+    for __ in range(60):
+        sp.add_pattern(patterns, op=rng.randrange(15),
+                       cmp=rng.randrange(6), a=rng.getrandbits(8),
+                       b=rng.getrandbits(8), c=rng.getrandbits(8))
+    transition = TransitionFaultSimulator(sp.netlist).run(patterns)
+    stems = [f for f in FaultList(sp.netlist) if f.is_stem()]
+    stuck = FaultSimulator(sp.netlist).run(
+        patterns, FaultList(sp.netlist, stems))
+    assert 0 < transition.num_detected
+    assert transition.coverage() <= stuck.coverage() + 1e-9
+
+
+def test_pipeline_stages_compose_with_transition_model(du_module, gpu):
+    """Stages 1-4 run unchanged against the transition-fault report
+    (Section V: 'the same compaction approach can be adapted')."""
+    from repro.core import (label_instructions, partition_ptp, reduce_ptp,
+                            run_logic_tracing)
+    from repro.stl import generate_imm
+
+    ptp = generate_imm(seed=21, num_sbs=12)
+    tracing = run_logic_tracing(ptp, du_module, gpu=gpu)
+    patterns = tracing.pattern_report.to_pattern_set()
+    result = TransitionFaultSimulator(du_module.netlist).run(patterns)
+    partition = partition_ptp(ptp)
+    labeled = label_instructions(ptp, tracing.trace,
+                                 tracing.pattern_report, result)
+    reduction = reduce_ptp(labeled, partition)
+    assert labeled.num_essential > 0
+    assert reduction.compacted.size <= ptp.size
+    # The compacted PTP still executes.
+    out = run_logic_tracing(reduction.compacted, du_module, gpu=gpu)
+    assert out.cycles > 0

@@ -1,0 +1,137 @@
+"""Architectural instruction semantics (32-bit int, FP32, SFU)."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import functional as fn
+from repro.isa import Instruction
+from repro.isa.opcodes import CmpOp, Op
+
+word32 = st.integers(0, 0xFFFFFFFF)
+
+
+def _run(op, a=0, b=0, c=0, cmp_op=CmpOp.EQ, **kw):
+    instr = Instruction(op, dst=1, **kw)
+    return fn.execute_arith(instr, a, b, c, cmp_op)
+
+
+@given(word32, word32)
+@settings(max_examples=80, deadline=None)
+def test_iadd_wraps(a, b):
+    result, __ = _run(Op.IADD, a, b)
+    assert result == (a + b) & 0xFFFFFFFF
+
+
+@given(word32, word32)
+@settings(max_examples=80, deadline=None)
+def test_isub_imul_wrap(a, b):
+    assert _run(Op.ISUB, a, b)[0] == (a - b) & 0xFFFFFFFF
+    sa, sb = fn.to_signed(a), fn.to_signed(b)
+    assert _run(Op.IMUL, a, b)[0] == (sa * sb) & 0xFFFFFFFF
+
+
+@given(word32, word32, word32)
+@settings(max_examples=50, deadline=None)
+def test_imad(a, b, c):
+    expected = (fn.to_signed(a) * fn.to_signed(b) + fn.to_signed(c))
+    assert _run(Op.IMAD, a, b, c)[0] == expected & 0xFFFFFFFF
+
+
+def test_min_max_are_signed():
+    assert _run(Op.IMIN, 0xFFFFFFFF, 1)[0] == 0xFFFFFFFF  # -1 < 1
+    assert _run(Op.IMAX, 0xFFFFFFFF, 1)[0] == 1
+
+
+@given(word32, word32)
+@settings(max_examples=50, deadline=None)
+def test_bitwise(a, b):
+    assert _run(Op.AND, a, b)[0] == a & b
+    assert _run(Op.OR, a, b)[0] == a | b
+    assert _run(Op.XOR, a, b)[0] == a ^ b
+    assert _run(Op.NOT, a)[0] == (~a) & 0xFFFFFFFF
+
+
+@pytest.mark.parametrize("amount,expected_shl,expected_shr", [
+    (0, 0xFFFF0000, 0xFFFF0000),
+    (4, 0xFFF00000, 0x0FFFF000),
+    (31, 0x00000000, 0x00000001),
+    (32, 0, 0),     # >= 32 flushes
+    (63, 0, 0),
+])
+def test_shifts(amount, expected_shl, expected_shr):
+    assert _run(Op.SHL, 0xFFFF0000, amount)[0] == expected_shl
+    assert _run(Op.SHR, 0xFFFF0000, amount)[0] == expected_shr
+
+
+@pytest.mark.parametrize("cmp_op,a,b,expected", [
+    (CmpOp.LT, 1, 2, True), (CmpOp.LT, 2, 1, False),
+    (CmpOp.LT, 0xFFFFFFFF, 0, True),   # signed: -1 < 0
+    (CmpOp.LE, 3, 3, True), (CmpOp.GT, 4, 3, True),
+    (CmpOp.GE, 3, 4, False), (CmpOp.EQ, 7, 7, True),
+    (CmpOp.NE, 7, 7, False),
+])
+def test_iset_isetp(cmp_op, a, b, expected):
+    result, __ = _run(Op.ISET, a, b, cmp_op=cmp_op)
+    assert result == (0xFFFFFFFF if expected else 0)
+    __, pred = _run(Op.ISETP, a, b, cmp_op=cmp_op, )
+    assert pred is expected
+
+
+def _f2w(value):
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def test_fadd_fmul_fmad():
+    a, b, c = _f2w(1.5), _f2w(2.0), _f2w(0.25)
+    assert fn.word_to_float(_run(Op.FADD, a, b)[0]) == 3.5
+    assert fn.word_to_float(_run(Op.FMUL, a, b)[0]) == 3.0
+    assert fn.word_to_float(_run(Op.FMAD, a, b, c)[0]) == 3.25
+
+
+def test_f2i_saturates_and_handles_nan():
+    assert _run(Op.F2I, _f2w(3.9))[0] == 3
+    assert _run(Op.F2I, _f2w(-2.5))[0] == fn.from_signed(-2)
+    assert _run(Op.F2I, _f2w(1e20))[0] == 0x7FFFFFFF
+    assert _run(Op.F2I, 0x7FC00000)[0] == 0  # NaN -> 0
+
+
+def test_i2f():
+    assert fn.word_to_float(_run(Op.I2F, 5)[0]) == 5.0
+    assert fn.word_to_float(_run(Op.I2F, 0xFFFFFFFF)[0]) == -1.0
+
+
+def test_sfu_functions():
+    two = _f2w(2.0)
+    assert fn.word_to_float(_run(Op.RCP, two)[0]) == pytest.approx(0.5)
+    assert fn.word_to_float(_run(Op.RSQ, _f2w(4.0))[0]) == pytest.approx(0.5)
+    assert fn.word_to_float(_run(Op.SIN, _f2w(0.0))[0]) == 0.0
+    assert fn.word_to_float(_run(Op.COS, _f2w(0.0))[0]) == 1.0
+    assert fn.word_to_float(_run(Op.LG2, _f2w(8.0))[0]) == pytest.approx(3.0)
+    assert fn.word_to_float(_run(Op.EX2, _f2w(3.0))[0]) == pytest.approx(8.0)
+
+
+def test_sfu_edge_cases_do_not_raise():
+    for op in (Op.RCP, Op.RSQ, Op.SIN, Op.COS, Op.LG2, Op.EX2):
+        for word in (0, _f2w(-1.0), 0x7F800000, 0xFF800000, 0x7FC00000):
+            result, __ = _run(op, word)
+            assert 0 <= result <= 0xFFFFFFFF
+
+
+def test_rcp_of_zero_is_inf():
+    assert _run(Op.RCP, 0)[0] == 0x7F800000
+
+
+@given(word32)
+@settings(max_examples=50, deadline=None)
+def test_float_word_round_trip(word):
+    value = fn.word_to_float(word)
+    if not math.isnan(value):
+        assert fn.word_to_float(fn.float_to_word(value)) == value
+
+
+def test_mov_forms():
+    assert _run(Op.MOV, 42)[0] == 42
+    assert _run(Op.MOV32I, b=0xBEEF)[0] == 0xBEEF

@@ -1,0 +1,60 @@
+"""FlexGripPlus configuration variants: 8 / 16 / 32 SPs per SM.
+
+The model keeps FlexGripPlus's flexibility of selecting the number of
+execution units (Section II.B); more lanes means fewer execute beats per
+warp and therefore shorter kernels, with identical architectural results.
+"""
+
+import pytest
+
+from repro.gpu import Gpu, GpuConfig, KernelConfig, SpCoreCollector
+from repro.isa import assemble
+
+SOURCE = """
+    S2R R0, TID_X
+    MOV32I R2, 0x1F
+    IADD R3, R0, R2
+    IMUL R4, R3, R3
+    GST [R0+0x0], R4
+    EXIT
+"""
+
+
+@pytest.mark.parametrize("num_sps", [8, 16, 32])
+def test_results_identical_across_lane_counts(num_sps):
+    gpu = Gpu(GpuConfig(num_sps=num_sps))
+    result = gpu.run_kernel(assemble(SOURCE), KernelConfig())
+    for tid in range(32):
+        assert result.global_memory[tid] == ((tid + 0x1F) ** 2) & 0xFFFFFFFF
+
+
+def test_more_lanes_fewer_cycles():
+    cycles = {}
+    for num_sps in (8, 16, 32):
+        gpu = Gpu(GpuConfig(num_sps=num_sps))
+        cycles[num_sps] = gpu.run_kernel(assemble(SOURCE),
+                                         KernelConfig()).cycles
+    assert cycles[32] < cycles[16] < cycles[8]
+
+
+def test_lane_mapping_follows_configuration():
+    gpu = Gpu(GpuConfig(num_sps=16))
+    collector = SpCoreCollector(16)
+    gpu.run_kernel(assemble(SOURCE), KernelConfig(),
+                   collectors=[collector])
+    lanes = {record.lane for record in collector.records}
+    assert lanes == set(range(16))
+    for record in collector.records:
+        assert record.lane == record.thread % 16
+
+
+def test_beat_count_scales_with_lanes():
+    # 32 active threads: 4 beats on 8 SPs, 1 beat on 32 SPs -> the
+    # execute span shrinks accordingly.
+    spans = {}
+    for num_sps in (8, 32):
+        gpu = Gpu(GpuConfig(num_sps=num_sps))
+        result = gpu.run_kernel(assemble(SOURCE), KernelConfig())
+        record = next(r for r in result.trace if r.mnemonic == "IMUL")
+        spans[num_sps] = record.exec_end_cc - record.exec_start_cc + 1
+    assert spans[8] == 4 * spans[32]

@@ -1,0 +1,102 @@
+"""Memory spaces, register file, and launch-configuration validation."""
+
+import pytest
+
+from repro.errors import KernelLaunchError, SimulationError
+from repro.gpu.config import GpuConfig, KernelConfig, WARP_SIZE
+from repro.gpu.memory import MemorySystem, WordMemory
+from repro.gpu.regfile import RegisterFile
+
+
+def test_word_memory_baslics():
+    mem = WordMemory("m", size_words=16)
+    assert mem.load(3) == 0
+    mem.store(3, 0x1_2345_6789)        # wraps to 32 bits
+    assert mem.load(3) == 0x2345_6789
+    assert mem.reads == 2 and mem.writes == 1
+
+
+def test_word_memory_bounds():
+    mem = WordMemory("m", size_words=4)
+    with pytest.raises(SimulationError):
+        mem.load(4)
+    with pytest.raises(SimulationError):
+        mem.store(-1, 0)
+
+
+def test_read_only_memory():
+    mem = WordMemory("c", size_words=8, read_only=True)
+    mem.preload({2: 7})
+    assert mem.load(2) == 7
+    with pytest.raises(SimulationError):
+        mem.store(2, 9)
+
+
+def test_snapshot_and_clear():
+    mem = WordMemory("m")
+    mem.store(1, 10)
+    snap = mem.snapshot()
+    mem.store(2, 20)
+    assert snap == {1: 10}
+    mem.clear()
+    assert mem.load(1) == 0 and mem.reads == 1
+
+
+def test_memory_system_space_codes():
+    system = MemorySystem(GpuConfig(), const_image={0: 5})
+    assert system.space(0) is system.global_mem
+    assert system.space(1) is system.shared
+    assert system.space(2) is system.constant
+    assert system.constant.load(0) == 5
+    with pytest.raises(SimulationError):
+        system.space(3)
+
+
+def test_register_file_per_thread_isolation():
+    regs = RegisterFile(4)
+    regs.write(5, 0, 111)
+    regs.write(5, 1, 222)
+    assert regs.read(5, 0) == 111
+    assert regs.read(5, 1) == 222
+    assert regs.read(5, 2) == 0
+
+
+def test_register_file_predicates():
+    regs = RegisterFile(2)
+    assert regs.read_pred(0, 0) is False
+    regs.write_pred(0, 0, 1)
+    assert regs.read_pred(0, 0) is True
+    assert regs.read_pred(0, 1) is False
+
+
+def test_register_file_thread_bounds():
+    regs = RegisterFile(2)
+    with pytest.raises(SimulationError):
+        regs.read(0, 2)
+    with pytest.raises(SimulationError):
+        RegisterFile(0)
+
+
+def test_gpu_config_validates_sp_count():
+    GpuConfig(num_sps=8)
+    GpuConfig(num_sps=16)
+    GpuConfig(num_sps=32)
+    with pytest.raises(KernelLaunchError):
+        GpuConfig(num_sps=12)
+
+
+def test_kernel_config_validation_and_warps():
+    cfg = KernelConfig(grid_blocks=2, block_threads=96)
+    assert cfg.warps_per_block == 3
+    assert cfg.total_threads == 192
+    assert KernelConfig(block_threads=1).warps_per_block == 1
+    with pytest.raises(KernelLaunchError):
+        KernelConfig(grid_blocks=0)
+    with pytest.raises(KernelLaunchError):
+        KernelConfig(block_threads=0)
+    with pytest.raises(KernelLaunchError):
+        KernelConfig(block_threads=2048)
+
+
+def test_warp_size_is_32():
+    assert WARP_SIZE == 32

@@ -1,0 +1,38 @@
+"""SIMT stack unit behavior."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.simt_stack import DIV, SYNC, SimtStack
+
+
+def test_push_pop_order():
+    stack = SimtStack()
+    stack.push_sync(10, 0xFFFF)
+    stack.push_div(5, 0x00FF)
+    assert stack.depth == 2
+    top = stack.pop()
+    assert top.kind == DIV and top.pc == 5 and top.mask == 0x00FF
+    top = stack.pop()
+    assert top.kind == SYNC and top.pc == 10 and top.mask == 0xFFFF
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        SimtStack().pop()
+
+
+def test_overflow_guard():
+    stack = SimtStack(max_depth=2)
+    stack.push_sync(0, 1)
+    stack.push_sync(0, 1)
+    with pytest.raises(SimulationError):
+        stack.push_div(0, 1)
+
+
+def test_peek_is_nondestructive():
+    stack = SimtStack()
+    assert stack.peek() is None
+    stack.push_sync(3, 7)
+    assert stack.peek().pc == 3
+    assert stack.depth == 1

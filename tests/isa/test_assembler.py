@@ -1,0 +1,131 @@
+"""Assembler: syntax coverage, label resolution, error reporting."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Instruction, Pred, assemble, disassemble
+from repro.isa.opcodes import CmpOp, Op, SpecialReg
+
+
+def test_all_formats_assemble():
+    program = assemble("""
+        MOV32I R1, 0x10
+        IADD   R2, R1, R1
+        IADD32I R3, R2, 0xFF
+        IMAD   R4, R1, R2, R3
+        NOT    R5, R4
+        ISET   R6, R1, R2, GE
+        ISETP  P1, R1, R2, NE
+        SEL    R7, P1, R1, R2
+        S2R    R8, LANEID
+        GLD    R9, [R8+0x40]
+        GST    [R8+0x44], R9
+        SLD    R10, [R8]
+        SST    [R8], R10
+        CLD    R11, c[0x4]
+        FADD   R12, R1, R2
+        SIN    R13, R12
+        SSY    18
+        BRA    18
+        JOIN
+        BAR
+        NOP
+        EXIT
+    """)
+    assert len(program) == 22
+    assert program[0] == Instruction(Op.MOV32I, dst=1, imm=0x10)
+    assert program[6].cmp is CmpOp.NE
+    assert program[8].sreg is SpecialReg.LANEID
+    assert program[11].imm == 0  # [R8] means offset zero
+
+
+def test_labels_forward_and_backward():
+    program = assemble("""
+    top:
+        IADD R1, R1, R2
+        BRA bottom
+        BRA top
+    bottom:
+        EXIT
+    """)
+    assert program[1].target == 3
+    assert program[2].target == 0
+    assert program.labels == {"top": 0, "bottom": 3}
+
+
+def test_numeric_branch_targets():
+    program = assemble("BRA 5")
+    assert program[0].target == 5
+
+
+def test_predicates():
+    program = assemble("""
+        ISETP P0, R1, R2, LT
+    @P0 IADD R3, R1, R2
+    @!P1 NOP
+    """)
+    assert program[1].pred == Pred(0, False)
+    assert program[2].pred == Pred(1, True)
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+        ; full comment line
+        NOP          ; trailing
+        NOP          // c++ style
+        NOP          # hash style
+    """)
+    assert len(program) == 3
+
+
+def test_error_unknown_mnemonic():
+    with pytest.raises(AssemblyError, match="FROB"):
+        assemble("FROB R1, R2")
+
+
+def test_error_wrong_operand_count():
+    with pytest.raises(AssemblyError, match="expects 3"):
+        assemble("IADD R1, R2")
+
+
+def test_error_undefined_label_reports_line():
+    with pytest.raises(AssemblyError, match="nowhere"):
+        assemble("BRA nowhere")
+
+
+def test_error_duplicate_label():
+    with pytest.raises(AssemblyError, match="duplicate"):
+        assemble("x:\nNOP\nx:\nNOP")
+
+
+def test_error_bad_memory_operand():
+    with pytest.raises(AssemblyError):
+        assemble("GLD R1, [R2*4]")
+
+
+def test_error_bad_guard():
+    with pytest.raises(AssemblyError):
+        assemble("@P9 NOP")
+
+
+def test_error_line_numbers():
+    try:
+        assemble("NOP\nNOP\nBOGUS")
+    except AssemblyError as exc:
+        assert exc.line == 3
+    else:
+        pytest.fail("expected AssemblyError")
+
+
+def test_disassemble_round_trip():
+    source = """
+        MOV32I R1, 0xDEAD
+        IADD32I R2, R1, 0x1
+        ISETP P0, R2, R1, GT
+    @P0 BRA 0
+        GST [R2+0x8], R1
+        EXIT
+    """
+    program = assemble(source)
+    again = assemble(disassemble(program.instructions))
+    assert list(again) == list(program)

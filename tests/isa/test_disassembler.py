@@ -1,0 +1,56 @@
+"""Disassembler output formats and assembler round trips (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (Instruction, Pred, assemble, disassemble,
+                       format_instruction)
+from repro.isa.opcodes import CmpOp, Op, SpecialReg
+
+
+def test_each_format_rendering():
+    cases = [
+        (Instruction(Op.IADD, dst=1, src_a=2, src_b=3),
+         "IADD R1, R2, R3"),
+        (Instruction(Op.IMAD, dst=1, src_a=2, src_b=3, src_c=4),
+         "IMAD R1, R2, R3, R4"),
+        (Instruction(Op.IADD32I, dst=1, src_a=2, imm=0xFF),
+         "IADD32I R1, R2, 0xFF"),
+        (Instruction(Op.MOV32I, dst=1, imm=0xDEAD),
+         "MOV32I R1, 0xDEAD"),
+        (Instruction(Op.NOT, dst=1, src_a=2), "NOT R1, R2"),
+        (Instruction(Op.ISET, dst=1, src_a=2, src_b=3, cmp=CmpOp.GE),
+         "ISET R1, R2, R3, GE"),
+        (Instruction(Op.ISETP, dst=1, src_a=2, src_b=3, cmp=CmpOp.NE),
+         "ISETP P1, R2, R3, NE"),
+        (Instruction(Op.SEL, dst=1, src_a=2, src_b=3, src_c=0),
+         "SEL R1, P0, R2, R3"),
+        (Instruction(Op.S2R, dst=1, sreg=SpecialReg.LANEID),
+         "S2R R1, LANEID"),
+        (Instruction(Op.GLD, dst=1, src_a=2, imm=0x10),
+         "GLD R1, [R2+0x10]"),
+        (Instruction(Op.GST, src_a=2, src_b=3, imm=0x10),
+         "GST [R2+0x10], R3"),
+        (Instruction(Op.CLD, dst=1, imm=0x4), "CLD R1, c[0x4]"),
+        (Instruction(Op.BRA, target=7), "BRA 7"),
+        (Instruction(Op.EXIT), "EXIT"),
+        (Instruction(Op.NOP, pred=Pred(2, True)), "@!P2 NOP"),
+    ]
+    for instr, expected in cases:
+        assert format_instruction(instr) == expected
+
+
+def test_disassemble_joins_lines():
+    text = disassemble([Instruction(Op.NOP), Instruction(Op.EXIT)])
+    assert text == "NOP\nEXIT"
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_generated_ptps_round_trip_through_text(seed):
+    """Disassembling a generated PTP and re-assembling reproduces it."""
+    from repro.stl import generate_imm
+
+    ptp = generate_imm(seed=seed, num_sbs=2)
+    text = disassemble(list(ptp.program))
+    again = assemble(text)
+    assert list(again) == list(ptp.program)

@@ -1,0 +1,127 @@
+"""64-bit codec: field placement, round trips (incl. hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import (Instruction, Pred, bits_to_word, decode, encode,
+                       encode_program, decode_program, word_to_bits)
+from repro.isa.opcodes import CmpOp, Fmt, Op, SpecialReg, info
+
+ALL_OPS = list(Op)
+
+
+def test_opcode_field_is_top_byte():
+    word = encode(Instruction(Op.NOP))
+    assert (word >> 56) & 0xFF == info(Op.NOP).code
+
+
+def test_unguarded_pred_field_is_7():
+    word = encode(Instruction(Op.NOP))
+    assert (word >> 53) & 0x7 == 7
+
+
+def test_guard_encoding():
+    word = encode(Instruction(Op.NOP, pred=Pred(2, True)))
+    assert (word >> 53) & 0x7 == 2
+    assert (word >> 52) & 1 == 1
+
+
+def test_imm32_occupies_low_word():
+    word = encode(Instruction(Op.MOV32I, dst=3, imm=0xDEADBEEF))
+    assert word & 0xFFFFFFFF == 0xDEADBEEF
+
+
+def test_branch_target_low_24():
+    word = encode(Instruction(Op.BRA, target=0x123456))
+    assert word & 0xFFFFFF == 0x123456
+
+
+def test_memory_fields():
+    word = encode(Instruction(Op.GST, src_a=9, src_b=33, imm=0xABCDE))
+    assert (word >> 40) & 0x3F == 9
+    assert (word >> 30) & 0x3F == 33
+    assert word & 0xFFFFFF == 0xABCDE
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(EncodingError):
+        decode(0xFF << 56)
+
+
+def test_decode_rejects_out_of_range_word():
+    with pytest.raises(EncodingError):
+        decode(1 << 64)
+    with pytest.raises(EncodingError):
+        decode(-1)
+
+
+def test_decode_rejects_bad_pred_index():
+    word = encode(Instruction(Op.NOP))
+    word = (word & ~(0x7 << 53)) | (5 << 53)  # pred index 5 is invalid
+    with pytest.raises(EncodingError):
+        decode(word)
+
+
+def _random_instruction(draw):
+    op = draw(st.sampled_from(ALL_OPS))
+    fmt = info(op).fmt
+    reg = st.integers(0, 63)
+    pred_reg = st.integers(0, 3)
+    kwargs = {"op": op}
+    if draw(st.booleans()):
+        kwargs["pred"] = Pred(draw(pred_reg), draw(st.booleans()))
+    if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RR, Fmt.RRC, Fmt.RSEL, Fmt.RSREG,
+               Fmt.RRI32, Fmt.RI32, Fmt.LD, Fmt.CONSTLD):
+        kwargs["dst"] = draw(reg)
+    if fmt is Fmt.PRC:
+        kwargs["dst"] = draw(pred_reg)
+    if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RRC, Fmt.PRC, Fmt.RR, Fmt.RSEL,
+               Fmt.RRI32, Fmt.LD, Fmt.ST):
+        kwargs["src_a"] = draw(reg)
+    if fmt in (Fmt.RRR, Fmt.RRRR, Fmt.RRC, Fmt.PRC, Fmt.RSEL, Fmt.ST):
+        kwargs["src_b"] = draw(reg)
+    if fmt is Fmt.RRRR:
+        kwargs["src_c"] = draw(reg)
+    if fmt is Fmt.RSEL:
+        kwargs["src_c"] = draw(pred_reg)
+    if fmt in (Fmt.RRI32, Fmt.RI32):
+        kwargs["imm"] = draw(st.integers(0, 0xFFFFFFFF))
+    if fmt in (Fmt.LD, Fmt.ST, Fmt.CONSTLD):
+        kwargs["imm"] = draw(st.integers(0, (1 << 24) - 1))
+    if fmt in (Fmt.RRC, Fmt.PRC):
+        kwargs["cmp"] = draw(st.sampled_from(list(CmpOp)))
+    if fmt is Fmt.RSREG:
+        kwargs["sreg"] = draw(st.sampled_from(list(SpecialReg)))
+    if fmt is Fmt.BRANCH:
+        kwargs["target"] = draw(st.integers(0, (1 << 24) - 1))
+    return Instruction(**kwargs)
+
+
+@given(st.data())
+@settings(max_examples=300, deadline=None)
+def test_encode_decode_round_trip(data):
+    instr = _random_instruction(data.draw)
+    assert decode(encode(instr)) == instr
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_encoding_is_injective_on_distinct_instructions(data):
+    a = _random_instruction(data.draw)
+    b = _random_instruction(data.draw)
+    if a != b:
+        assert encode(a) != encode(b)
+
+
+def test_program_codec_round_trip():
+    program = [Instruction(Op.MOV32I, dst=1, imm=7),
+               Instruction(Op.IADD, dst=2, src_a=1, src_b=1),
+               Instruction(Op.EXIT)]
+    assert decode_program(encode_program(program)) == program
+
+
+@given(st.integers(0, (1 << 64) - 1))
+@settings(max_examples=100, deadline=None)
+def test_word_bits_round_trip(word):
+    assert bits_to_word(word_to_bits(word)) == word

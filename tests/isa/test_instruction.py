@@ -1,0 +1,108 @@
+"""Instruction model: validation, dataflow queries, predication."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import Instruction, NUM_PREDS, NUM_REGS, Pred
+from repro.isa.opcodes import CmpOp, Op, SpecialReg
+
+
+def test_basic_construction():
+    instr = Instruction(Op.IADD, dst=1, src_a=2, src_b=3)
+    assert instr.dst == 1
+    assert instr.unit.value == "sp"
+
+
+def test_register_bounds_checked():
+    with pytest.raises(IsaError):
+        Instruction(Op.IADD, dst=NUM_REGS, src_a=0, src_b=0)
+    with pytest.raises(IsaError):
+        Instruction(Op.IADD, dst=0, src_a=-1, src_b=0)
+
+
+def test_predicate_bounds_checked():
+    with pytest.raises(IsaError):
+        Instruction(Op.ISETP, dst=NUM_PREDS, src_a=0, src_b=0)
+    with pytest.raises(IsaError):
+        Pred(5)
+
+
+def test_imm32_normalized_to_unsigned():
+    instr = Instruction(Op.MOV32I, dst=1, imm=-1)
+    assert instr.imm == 0xFFFFFFFF
+
+
+def test_imm32_range_checked():
+    with pytest.raises(IsaError):
+        Instruction(Op.MOV32I, dst=1, imm=1 << 33)
+
+
+def test_imm24_range_checked():
+    with pytest.raises(IsaError):
+        Instruction(Op.GLD, dst=1, src_a=0, imm=1 << 24)
+    Instruction(Op.GLD, dst=1, src_a=0, imm=(1 << 24) - 1)  # ok
+
+
+def test_branch_target_checked():
+    with pytest.raises(IsaError):
+        Instruction(Op.BRA, target=-1)
+
+
+def test_with_pred():
+    base = Instruction(Op.IADD, dst=1, src_a=2, src_b=3)
+    guarded = base.with_pred(2, negate=True)
+    assert guarded.pred == Pred(2, True)
+    assert base.pred is None  # immutability
+
+
+def test_with_target_only_on_branches():
+    bra = Instruction(Op.BRA, target=4)
+    assert bra.with_target(9).target == 9
+    with pytest.raises(IsaError):
+        Instruction(Op.IADD, dst=1, src_a=2, src_b=3).with_target(0)
+
+
+def test_regs_read_written_rrr():
+    instr = Instruction(Op.IADD, dst=1, src_a=2, src_b=3)
+    assert instr.regs_read() == {2, 3}
+    assert instr.regs_written() == {1}
+
+
+def test_regs_read_written_imad():
+    instr = Instruction(Op.IMAD, dst=1, src_a=2, src_b=3, src_c=4)
+    assert instr.regs_read() == {2, 3, 4}
+
+
+def test_regs_read_store():
+    instr = Instruction(Op.GST, src_a=5, src_b=6, imm=0)
+    assert instr.regs_read() == {5, 6}
+    assert instr.regs_written() == set()
+
+
+def test_regs_written_isetp_is_predicate_not_gpr():
+    instr = Instruction(Op.ISETP, dst=1, src_a=2, src_b=3, cmp=CmpOp.LT)
+    assert instr.regs_written() == set()
+    assert instr.preds_written() == {1}
+
+
+def test_preds_read_includes_guard_and_sel():
+    instr = Instruction(Op.SEL, dst=1, src_a=2, src_b=3, src_c=2)
+    assert instr.preds_read() == {2}
+    guarded = instr.with_pred(0)
+    assert guarded.preds_read() == {0, 2}
+
+
+def test_mov32i_reads_nothing():
+    instr = Instruction(Op.MOV32I, dst=1, imm=5)
+    assert instr.regs_read() == set()
+
+
+def test_s2r_fields():
+    instr = Instruction(Op.S2R, dst=7, sreg=SpecialReg.LANEID)
+    assert instr.regs_read() == set()
+    assert instr.regs_written() == {7}
+
+
+def test_str_is_disassembly():
+    instr = Instruction(Op.IADD, dst=1, src_a=2, src_b=3)
+    assert str(instr) == "IADD R1, R2, R3"

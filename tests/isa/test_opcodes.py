@@ -1,0 +1,84 @@
+"""Opcode table invariants."""
+
+import pytest
+
+from repro.isa import opcodes
+from repro.isa.opcodes import Fmt, Op, Unit
+
+
+def test_exactly_52_opcodes():
+    # FlexGripPlus supports up to 52 assembly instructions (Section II.B).
+    assert opcodes.NUM_OPCODES == 52
+    assert len(list(Op)) == 52
+
+
+def test_binary_opcodes_are_unique():
+    codes = [info.code for info in opcodes.INFO.values()]
+    assert len(set(codes)) == len(codes)
+
+
+def test_codes_fit_in_one_byte():
+    assert all(0 < info.code < 256 for info in opcodes.INFO.values())
+
+
+def test_by_code_round_trip():
+    for op, info in opcodes.INFO.items():
+        assert opcodes.BY_CODE[info.code] is op
+
+
+def test_by_mnemonic_round_trip():
+    for op in Op:
+        assert opcodes.BY_MNEMONIC[op.value] is op
+
+
+def test_every_unit_is_populated():
+    used_units = {info.unit for info in opcodes.INFO.values()}
+    assert used_units == set(Unit)
+
+
+def test_sfu_ops_are_fp_unary():
+    for op in (Op.RCP, Op.RSQ, Op.SIN, Op.COS, Op.LG2, Op.EX2):
+        info = opcodes.info(op)
+        assert info.unit is Unit.SFU
+        assert info.fmt is Fmt.RR
+        assert info.is_fp
+
+
+def test_immediate_forms_flagged():
+    assert opcodes.is_immediate_form(Op.IADD32I)
+    assert opcodes.is_immediate_form(Op.MOV32I)
+    assert not opcodes.is_immediate_form(Op.IADD)
+    assert not opcodes.is_immediate_form(Op.GLD)
+
+
+def test_branch_classification():
+    assert opcodes.is_branch(Op.BRA)
+    assert opcodes.is_branch(Op.EXIT)
+    assert not opcodes.is_branch(Op.SSY)
+    assert opcodes.is_control(Op.SSY)
+    assert opcodes.is_control(Op.JOIN)
+    assert not opcodes.is_control(Op.IADD)
+
+
+def test_memory_classification():
+    for op in (Op.GLD, Op.GST, Op.SLD, Op.SST, Op.CLD):
+        assert opcodes.is_memory(op)
+    assert not opcodes.is_memory(Op.MOV)
+
+
+def test_control_ops_never_write_registers():
+    for op, info in opcodes.INFO.items():
+        if info.unit is Unit.CTRL:
+            assert not info.writes_reg, op
+
+
+def test_latencies_positive():
+    assert all(info.latency >= 1 for info in opcodes.INFO.values())
+
+
+def test_cmp_and_sreg_tables():
+    assert len(opcodes.CmpOp) == 6
+    assert opcodes.CMP_BY_NAME["LT"] is opcodes.CmpOp.LT
+    assert opcodes.CMP_BY_CODE[4] is opcodes.CmpOp.EQ
+    assert opcodes.SREG_BY_NAME["TID_X"] is opcodes.SpecialReg.TID_X
+    assert opcodes.SREG_BY_CODE[5] is opcodes.SpecialReg.WARPID

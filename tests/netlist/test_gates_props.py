@@ -1,0 +1,40 @@
+"""Gate-evaluation properties: bit-parallel == bit-serial (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.gates import ARITY, GateType, evaluate, is_inverting
+
+words = st.integers(0, (1 << 64) - 1)
+
+
+@given(st.sampled_from(list(GateType)), st.data())
+@settings(max_examples=120, deadline=None)
+def test_packed_evaluation_equals_per_bit(gate_type, data):
+    arity = ARITY[gate_type]
+    packed_inputs = tuple(data.draw(words) for __ in range(arity))
+    mask = (1 << 64) - 1
+    packed = evaluate(gate_type, packed_inputs, mask)
+    for bit in range(0, 64, 7):
+        scalar_inputs = tuple((value >> bit) & 1
+                              for value in packed_inputs)
+        scalar = evaluate(gate_type, scalar_inputs, 1)
+        assert (packed >> bit) & 1 == scalar
+
+
+@given(st.sampled_from(list(GateType)), st.data())
+@settings(max_examples=60, deadline=None)
+def test_output_stays_within_mask(gate_type, data):
+    arity = ARITY[gate_type]
+    mask = (1 << 17) - 1
+    inputs = tuple(data.draw(st.integers(0, mask)) for __ in range(arity))
+    assert evaluate(gate_type, inputs, mask) >> 17 == 0
+
+
+def test_inverting_classification():
+    assert is_inverting(GateType.NOT)
+    assert is_inverting(GateType.NAND)
+    assert is_inverting(GateType.NOR)
+    assert is_inverting(GateType.XNOR)
+    assert not is_inverting(GateType.AND)
+    assert not is_inverting(GateType.MUX)
+    assert not is_inverting(GateType.BUF)

@@ -1,0 +1,43 @@
+"""HardwareModule wrapper: port validation and simulation helpers."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import GateType, Netlist
+from repro.netlist.modules import HardwareModule
+
+
+def _module():
+    nl = Netlist("toy")
+    a = nl.add_inputs(4, "a")
+    b = nl.add_inputs(4, "b")
+    out = [nl.add_gate(GateType.XOR, x, y) for x, y in zip(a, b)]
+    for net in out:
+        nl.mark_output(net)
+    nl.finalize()
+    return HardwareModule(name="toy", netlist=nl,
+                          input_words={"a": a, "b": b},
+                          output_words={"out": out})
+
+
+def test_add_pattern_and_simulate():
+    module = _module()
+    patterns = module.new_pattern_set()
+    module.add_pattern(patterns, a=0b1010, b=0b0110)
+    module.add_pattern(patterns, a=0xF)  # b defaults to 0
+    out = module.simulate(patterns)
+    assert out["out"] == [0b1100, 0xF]
+
+
+def test_unknown_port_rejected():
+    module = _module()
+    patterns = module.new_pattern_set()
+    with pytest.raises(NetlistError):
+        module.add_pattern(patterns, nope=1)
+
+
+def test_pattern_index_returned():
+    module = _module()
+    patterns = module.new_pattern_set()
+    assert module.add_pattern(patterns, a=1) == 0
+    assert module.add_pattern(patterns, a=2) == 1

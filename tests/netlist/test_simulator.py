@@ -1,0 +1,131 @@
+"""Bit-parallel logic simulator: gate semantics and pattern packing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist import (CONST0, CONST1, GateType, LogicSimulator, Netlist,
+                           PatternSet)
+from repro.netlist.gates import ARITY, evaluate
+
+
+@pytest.mark.parametrize("gate_type,table", [
+    (GateType.BUF, {(0,): 0, (1,): 1}),
+    (GateType.NOT, {(0,): 1, (1,): 0}),
+    (GateType.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+    (GateType.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+    (GateType.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+    (GateType.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+    (GateType.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+    (GateType.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+    (GateType.MUX, {(0, 0, 0): 0, (1, 0, 0): 1, (0, 1, 0): 0, (1, 1, 0): 1,
+                    (0, 0, 1): 0, (1, 0, 1): 0, (0, 1, 1): 1, (1, 1, 1): 1}),
+])
+def test_gate_truth_tables(gate_type, table):
+    for inputs, expected in table.items():
+        assert evaluate(gate_type, inputs, 1) == expected
+    assert ARITY[gate_type] == len(next(iter(table)))
+
+
+def _xor_netlist():
+    nl = Netlist("xor")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    out = nl.add_gate(GateType.XOR, a, b)
+    nl.mark_output(out, "out")
+    nl.finalize()
+    return nl, a, b, out
+
+
+def test_pattern_set_add_and_mask():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    assert patterns.mask == 0
+    patterns.add({a: 1})
+    patterns.add({a: 0, b: 1})
+    patterns.add({a: 1, b: 1})
+    assert patterns.count == 3
+    assert patterns.mask == 0b111
+    assert patterns.value_of(a, 0) == 1
+    assert patterns.value_of(b, 0) == 0
+    assert patterns.value_of(b, 2) == 1
+
+
+def test_pattern_set_rejects_non_input_nets():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    with pytest.raises(NetlistError):
+        patterns.add({out: 1})
+
+
+def test_simulation_packs_all_patterns():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    cases = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    for av, bv in cases:
+        patterns.add({a: av, b: bv})
+    values = LogicSimulator(nl).run(patterns)
+    for k, (av, bv) in enumerate(cases):
+        assert (values[out] >> k) & 1 == (av ^ bv)
+    assert values[CONST0] == 0
+    assert values[CONST1] == patterns.mask
+
+
+def test_run_words():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    patterns.add({a: 1, b: 0})
+    patterns.add({a: 1, b: 1})
+    results = LogicSimulator(nl).run_words(patterns, {"out": [out]})
+    assert results["out"] == [1, 0]
+
+
+def test_subset_and_reversed():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    for av, bv in [(1, 0), (0, 1), (1, 1), (0, 0)]:
+        patterns.add({a: av, b: bv})
+    rev = patterns.reversed()
+    assert rev.count == 4
+    assert rev.value_of(a, 0) == patterns.value_of(a, 3)
+    assert rev.value_of(b, 3) == patterns.value_of(b, 0)
+    sub = patterns.subset([2, 0])
+    assert sub.count == 2
+    assert sub.value_of(a, 0) == patterns.value_of(a, 2)
+    assert sub.value_of(a, 1) == patterns.value_of(a, 0)
+
+
+def test_cross_netlist_pattern_rejected():
+    nl1, a1, b1, _ = _xor_netlist()
+    nl2, *_ = _xor_netlist()
+    patterns = PatternSet(nl1)
+    patterns.add({a1: 1})
+    with pytest.raises(NetlistError):
+        LogicSimulator(nl2).run(patterns)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.booleans(), st.booleans()),
+                min_size=1, max_size=70))
+@settings(max_examples=30, deadline=None)
+def test_parallel_simulation_matches_serial(cases):
+    """Simulating N patterns at once equals N single-pattern runs."""
+    nl = Netlist("mix")
+    a = nl.add_input()
+    b = nl.add_input()
+    c = nl.add_input()
+    g1 = nl.add_gate(GateType.NAND, a, b)
+    g2 = nl.add_gate(GateType.MUX, g1, c, b)
+    g3 = nl.add_gate(GateType.XNOR, g2, a)
+    nl.mark_output(g3)
+    nl.finalize()
+    sim = LogicSimulator(nl)
+
+    batch = PatternSet(nl)
+    for av, bv, cv in cases:
+        batch.add({a: int(av), b: int(bv), c: int(cv)})
+    packed = sim.run(batch)[g3]
+
+    for k, (av, bv, cv) in enumerate(cases):
+        single = PatternSet(nl)
+        single.add({a: int(av), b: int(bv), c: int(cv)})
+        assert sim.run(single)[g3] == (packed >> k) & 1

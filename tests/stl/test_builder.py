@@ -1,0 +1,108 @@
+"""PtpBuilder: SB bookkeeping, data allocation, label resolution."""
+
+import pytest
+
+from repro.errors import CompactionError
+from repro.gpu.config import KernelConfig
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.stl.builder import (DATA_BASE, OUTPUT_BASE, PtpBuilder,
+                               SIGNATURE_BASE)
+
+
+def _builder(**kw):
+    return PtpBuilder("X", "decoder_unit",
+                      kernel=KernelConfig(block_threads=32), **kw)
+
+
+def test_sb_hints_recorded():
+    builder = _builder()
+    builder.emit_prologue()
+    builder.begin_sb()
+    builder.emit(Instruction(Op.MOV32I, dst=2, imm=1))
+    builder.emit(Instruction(Op.IADD, dst=3, src_a=2, src_b=2))
+    builder.end_sb()
+    builder.emit_epilogue()
+    ptp = builder.build()
+    assert ptp.sb_hints == [(1, 3)]
+    assert ptp.size == 4  # S2R + 2 + EXIT
+
+
+def test_nested_begin_sb_rejected():
+    builder = _builder()
+    builder.begin_sb()
+    with pytest.raises(CompactionError):
+        builder.begin_sb()
+
+
+def test_end_without_begin_rejected():
+    with pytest.raises(CompactionError):
+        _builder().end_sb()
+
+
+def test_unclosed_sb_rejected_at_build():
+    builder = _builder()
+    builder.begin_sb()
+    builder.emit(Instruction(Op.NOP))
+    with pytest.raises(CompactionError):
+        builder.build()
+
+
+def test_alloc_data_places_words_per_thread():
+    builder = _builder()
+    offset = builder.alloc_data([10, 20, 30])
+    assert offset == DATA_BASE
+    assert builder.global_image[offset] == 10
+    assert builder.global_image[offset + 2] == 30
+    # Next allocation starts at least one thread-block further.
+    assert builder.alloc_data([1]) >= offset + 32
+
+
+def test_alloc_data_overflow_guard():
+    builder = _builder()
+    with pytest.raises(CompactionError):
+        for __ in range(OUTPUT_BASE // 32 + 2):
+            builder.alloc_data([0])
+
+
+def test_output_offsets_rotate_in_observable_region():
+    builder = _builder()
+    offsets = {builder.next_output_offset() for __ in range(100)}
+    assert all(OUTPUT_BASE <= off < SIGNATURE_BASE for off in offsets)
+    assert len(offsets) == 64  # the rotation window
+
+
+def test_labels_resolve_forward():
+    builder = _builder()
+    builder.emit_branch(Op.BRA, "end")
+    builder.emit(Instruction(Op.NOP))
+    builder.label("end")
+    builder.emit(Instruction(Op.EXIT))
+    ptp = builder.build()
+    assert ptp.program[0].target == 2
+    assert ptp.program.labels == {"end": 2}
+
+
+def test_undefined_label_rejected():
+    builder = _builder()
+    builder.emit_branch(Op.BRA, "nowhere")
+    with pytest.raises(CompactionError):
+        builder.build()
+
+
+def test_duplicate_label_rejected():
+    builder = _builder()
+    builder.label("x")
+    with pytest.raises(CompactionError):
+        builder.label("x")
+
+
+def test_signature_epilogue():
+    builder = PtpBuilder("X", "sp_core", uses_signature=True)
+    builder.emit_prologue()
+    builder.emit_epilogue()
+    ptp = builder.build()
+    ops = [i.op for i in ptp.program]
+    assert ops == [Op.S2R, Op.MOV32I, Op.GST, Op.EXIT]
+    assert ptp.program[2].imm == SIGNATURE_BASE
+    assert ptp.uses_signature

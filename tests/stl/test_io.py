@@ -1,0 +1,44 @@
+"""PTP save/load round trips."""
+
+import pytest
+
+from repro.errors import ReportError
+from repro.stl import generate_cntrl, generate_imm, generate_mem
+from repro.stl.io import load_ptp, save_ptp
+
+
+@pytest.mark.parametrize("generator,kwargs", [
+    (generate_imm, {"num_sbs": 4}),
+    (generate_mem, {"num_sbs": 4}),
+    (generate_cntrl, {"num_sbs": 3}),
+])
+def test_round_trip(tmp_path, generator, kwargs):
+    ptp = generator(seed=6, **kwargs)
+    save_ptp(ptp, str(tmp_path / "ptp"))
+    loaded = load_ptp(str(tmp_path / "ptp"))
+    assert loaded.name == ptp.name
+    assert loaded.target == ptp.target
+    assert list(loaded.program) == list(ptp.program)
+    assert loaded.program.labels == {}  # labels are not persisted
+    assert loaded.global_image == ptp.global_image
+    assert loaded.kernel == ptp.kernel
+    assert loaded.sb_hints == ptp.sb_hints
+    assert loaded.uses_signature == ptp.uses_signature
+    assert loaded.style == ptp.style
+
+
+def test_loaded_ptp_compacts_identically(tmp_path, du_module, gpu):
+    from repro.core import CompactionPipeline
+
+    ptp = generate_imm(seed=6, num_sbs=8)
+    save_ptp(ptp, str(tmp_path / "p"))
+    loaded = load_ptp(str(tmp_path / "p"))
+    a = CompactionPipeline(du_module, gpu=gpu).compact(ptp, evaluate=False)
+    b = CompactionPipeline(du_module, gpu=gpu).compact(loaded,
+                                                       evaluate=False)
+    assert list(a.compacted.program) == list(b.compacted.program)
+
+
+def test_missing_directory_raises(tmp_path):
+    with pytest.raises(ReportError):
+        load_ptp(str(tmp_path / "nope"))

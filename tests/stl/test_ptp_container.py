@@ -1,0 +1,67 @@
+"""ParallelTestProgram / SelfTestLibrary container semantics."""
+
+import pytest
+
+from repro.errors import CompactionError
+from repro.gpu.config import KernelConfig
+from repro.isa import Instruction, Program
+from repro.isa.opcodes import Op
+from repro.stl.ptp import ParallelTestProgram, SelfTestLibrary
+
+
+def _ptp(name="A", size=3):
+    instructions = [Instruction(Op.NOP) for __ in range(size - 1)]
+    instructions.append(Instruction(Op.EXIT))
+    return ParallelTestProgram(name=name, target="decoder_unit",
+                               program=Program(instructions),
+                               kernel=KernelConfig())
+
+
+def test_size_property():
+    assert _ptp(size=5).size == 5
+
+
+def test_with_program_replaces_and_clears_hints():
+    ptp = _ptp()
+    ptp.sb_hints.append((0, 1))
+    replaced = ptp.with_program(Program([Instruction(Op.EXIT)]),
+                                name="A_compacted")
+    assert replaced.size == 1
+    assert replaced.name == "A_compacted"
+    assert replaced.sb_hints == []
+    assert replaced.target == ptp.target
+    assert ptp.size == 3  # original untouched
+
+
+def test_stl_rejects_duplicate_names():
+    with pytest.raises(CompactionError):
+        SelfTestLibrary([_ptp("A"), _ptp("A")])
+    stl = SelfTestLibrary([_ptp("A")])
+    with pytest.raises(CompactionError):
+        stl.add(_ptp("A"))
+
+
+def test_stl_lookup_by_name_and_index():
+    stl = SelfTestLibrary([_ptp("A"), _ptp("B")])
+    assert stl["B"].name == "B"
+    assert stl[0].name == "A"
+    with pytest.raises(KeyError):
+        stl["C"]
+
+
+def test_stl_replace_unknown_name():
+    stl = SelfTestLibrary([_ptp("A")])
+    with pytest.raises(KeyError):
+        stl.replace("B", _ptp("B"))
+
+
+def test_targeting_filters_in_order():
+    a = _ptp("A")
+    b = ParallelTestProgram(name="B", target="sp_core",
+                            program=Program([Instruction(Op.EXIT)]),
+                            kernel=KernelConfig())
+    c = _ptp("C")
+    stl = SelfTestLibrary([a, b, c])
+    assert [p.name for p in stl.targeting("decoder_unit")] == ["A", "C"]
+    assert [p.name for p in stl.targeting("sp_core")] == ["B"]
+    assert stl.targeting("sfu") == []

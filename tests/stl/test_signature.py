@@ -1,0 +1,102 @@
+"""Signature-per-thread model: MISR fold properties (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu import Gpu, KernelConfig
+from repro.isa import Instruction, Program
+from repro.isa.opcodes import Op, SpecialReg
+from repro.stl.signature import (SIG_REG, difference_fold, emit_misr_update,
+                                 misr_fold, misr_update, rotl)
+
+word32 = st.integers(0, 0xFFFFFFFF)
+
+
+@given(word32, st.integers(0, 64))
+@settings(max_examples=60, deadline=None)
+def test_rotl_inverse(value, amount):
+    rotated = rotl(value, amount)
+    assert rotl(rotated, (32 - amount) % 32) == value
+
+
+@given(word32)
+@settings(max_examples=30, deadline=None)
+def test_rotl_identity_at_width(value):
+    assert rotl(value, 32) == value
+    assert rotl(value, 0) == value
+
+
+@given(st.lists(word32, min_size=0, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_fold_matches_step_by_step(values):
+    signature = 0
+    for value in values:
+        signature = misr_update(signature, value)
+    assert misr_fold(values) == signature
+
+
+@given(st.lists(word32, min_size=1, max_size=12),
+       st.lists(word32, min_size=1, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_fold_linearity(values, diffs):
+    """misr_fold(v ^ d) == misr_fold(v) ^ difference-fold(d).
+
+    This XOR linearity is what lets the signature-observability fault
+    evaluation work from per-pattern diffs alone.
+    """
+    length = min(len(values), len(diffs))
+    values = values[:length]
+    diffs = diffs[:length]
+    corrupted = [v ^ d for v, d in zip(values, diffs)]
+    expected = misr_fold(values) ^ difference_fold(
+        {i: d for i, d in enumerate(diffs)}, length)
+    assert misr_fold(corrupted) == expected
+
+
+@given(st.lists(word32, min_size=1, max_size=10), st.integers(0, 9), word32)
+@settings(max_examples=50, deadline=None)
+def test_difference_fold_single_position(values, pos, diff):
+    pos %= len(values)
+    corrupted = list(values)
+    corrupted[pos] ^= diff
+    assert misr_fold(corrupted) == misr_fold(values) ^ difference_fold(
+        {pos: diff}, len(values))
+
+
+def test_difference_fold_aliasing_case():
+    """Two equal diffs 32 updates apart cancel exactly (rotation period)."""
+    diff = 0x1234
+    fold = difference_fold({0: diff, 32: diff}, 33)
+    assert fold == 0
+
+
+def test_emitted_sequence_computes_misr_update(gpu):
+    """The 4-instruction emission really computes rotl(sig,1) ^ result."""
+    sig_init = 0x80000001
+    result_value = 0xDEADBEEF
+    program = Program([
+        Instruction(Op.S2R, dst=0, sreg=SpecialReg.TID_X),
+        Instruction(Op.MOV32I, dst=SIG_REG, imm=sig_init),
+        Instruction(Op.MOV32I, dst=9, imm=result_value),
+        *emit_misr_update(9),
+        Instruction(Op.GST, src_a=0, src_b=SIG_REG, imm=0),
+        Instruction(Op.EXIT),
+    ])
+    out = gpu.run_kernel(program, KernelConfig())
+    assert out.global_memory[0] == misr_update(sig_init, result_value)
+
+
+@given(st.lists(word32, min_size=1, max_size=6))
+@settings(max_examples=15, deadline=None)
+def test_emitted_chain_matches_fold(values):
+    gpu = Gpu()
+    instructions = [
+        Instruction(Op.S2R, dst=0, sreg=SpecialReg.TID_X),
+        Instruction(Op.MOV32I, dst=SIG_REG, imm=0),
+    ]
+    for value in values:
+        instructions.append(Instruction(Op.MOV32I, dst=9, imm=value))
+        instructions.extend(emit_misr_update(9))
+    instructions.append(Instruction(Op.GST, src_a=0, src_b=SIG_REG, imm=0))
+    instructions.append(Instruction(Op.EXIT))
+    out = gpu.run_kernel(Program(instructions), KernelConfig())
+    assert out.global_memory[0] == misr_fold(values)

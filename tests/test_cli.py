@@ -1,0 +1,77 @@
+"""CLI tool: subcommands, artifacts, error handling."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.stl.io import load_ptp
+
+
+def test_info_prints_module_summary(capsys):
+    assert main(["info", "--module", "sp_core", "--width", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "sp_core" in out
+    assert "collapsed stuck-at" in out
+
+
+def test_info_unknown_module():
+    with pytest.raises(SystemExit):
+        main(["info", "--module", "warp_scheduler"])
+
+
+def test_generate_writes_ptp_directory(tmp_path, capsys):
+    out_dir = str(tmp_path / "imm")
+    assert main(["generate", "--ptp", "IMM", "--seed", "5", "--sbs", "4",
+                 "--out", out_dir]) == 0
+    assert os.path.exists(os.path.join(out_dir, "program.asm"))
+    ptp = load_ptp(out_dir)
+    assert ptp.name == "IMM"
+    assert len(ptp.sb_hints) == 4
+
+
+def test_generate_unknown_ptp(tmp_path):
+    with pytest.raises(SystemExit, match="SFU_IMM"):
+        main(["generate", "--ptp", "SFU_IMM", "--out", str(tmp_path)])
+
+
+def test_compact_round_trip(tmp_path, capsys):
+    src_dir = str(tmp_path / "src")
+    out_dir = str(tmp_path / "out")
+    main(["generate", "--ptp", "IMM", "--seed", "5", "--sbs", "6",
+          "--out", src_dir])
+    capsys.readouterr()
+    assert main(["compact", "--ptp-dir", src_dir, "--out", out_dir,
+                 "--no-evaluate", "--reports"]) == 0
+    out = capsys.readouterr().out
+    assert "PTP IMM" in out
+    compacted = load_ptp(out_dir)
+    original = load_ptp(src_dir)
+    assert compacted.size <= original.size
+    reports = os.path.join(out_dir, "reports")
+    for name in ("trace.txt", "patterns.vcde", "fault_sim.txt",
+                 "labeled.txt"):
+        path = os.path.join(reports, name)
+        assert os.path.getsize(path) > 0
+
+
+def test_compact_reports_parse_back(tmp_path, capsys, du_module):
+    src_dir = str(tmp_path / "src")
+    out_dir = str(tmp_path / "out")
+    main(["generate", "--ptp", "MEM", "--seed", "5", "--sbs", "5",
+          "--out", src_dir])
+    main(["compact", "--ptp-dir", src_dir, "--out", out_dir,
+          "--no-evaluate", "--reports"])
+    capsys.readouterr()
+    from repro.core.patterns import parse_pattern_report
+    from repro.core.reports import parse_fault_sim_report
+    from repro.gpu.trace import parse_trace_report
+
+    reports = os.path.join(out_dir, "reports")
+    with open(os.path.join(reports, "trace.txt")) as handle:
+        assert parse_trace_report(handle.read())
+    with open(os.path.join(reports, "patterns.vcde")) as handle:
+        assert parse_pattern_report(handle.read(), du_module).count > 0
+    with open(os.path.join(reports, "fault_sim.txt")) as handle:
+        header, rows = parse_fault_sim_report(handle.read())
+        assert rows

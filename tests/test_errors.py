@@ -1,0 +1,28 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError) or (
+                obj is errors.ReproError)
+
+
+def test_assembly_error_carries_line():
+    exc = errors.AssemblyError("bad", line=7)
+    assert exc.line == 7
+    assert "line 7" in str(exc)
+    exc = errors.AssemblyError("bad")
+    assert exc.line is None
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.FaultSimError("x")
+    with pytest.raises(errors.IsaError):
+        raise errors.AssemblyError("y")

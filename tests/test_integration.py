@@ -1,0 +1,89 @@
+"""Full-stack integration: the smoke-scale experiment campaign.
+
+Exercises every subsystem together exactly as the benchmarks do, at the
+small SMOKE scale, and checks the cross-cutting invariants that the
+paper's story depends on.
+"""
+
+import pytest
+
+from repro.analysis import Experiment, SMOKE, stl_aggregate
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return Experiment(SMOKE)
+
+
+@pytest.fixture(scope="module")
+def du_campaign(experiment):
+    return experiment.run_du_campaign()
+
+
+@pytest.fixture(scope="module")
+def sp_campaign(experiment):
+    return experiment.run_sp_campaign()
+
+
+@pytest.fixture(scope="module")
+def sfu_campaign(experiment):
+    return experiment.run_sfu_campaign()
+
+
+def test_du_dropping_order_effects(du_campaign):
+    outcomes, pipeline = du_campaign
+    # Every DU PTP was compacted against a shrinking fault list.
+    assert pipeline.fault_report.detected_faults >= max(
+        outcome.newly_dropped_faults for outcome in outcomes.values())
+    # IMM is first: its FC is exactly preserved (context-free DU patterns).
+    assert outcomes["IMM"].fc_diff == pytest.approx(0.0)
+
+
+def test_sp_campaign_rand_redundancy(sp_campaign):
+    outcomes, __ = sp_campaign
+    tpgen, rand = outcomes["TPGEN"], outcomes["RAND"]
+    # RAND follows TPGEN under dropping: it compacts harder and its
+    # standalone FC falls further (Table III's -17.07 mechanism).
+    assert rand.size_reduction_percent <= tpgen.size_reduction_percent
+    assert rand.fc_diff <= tpgen.fc_diff + 0.5
+
+
+def test_sfu_campaign_fc_exact(sfu_campaign):
+    outcomes, __ = sfu_campaign
+    assert outcomes["SFU_IMM"].fc_diff == pytest.approx(0.0)
+
+
+def test_compacted_programs_all_run(experiment, du_campaign, sp_campaign,
+                                     sfu_campaign):
+    from repro.core import run_logic_tracing
+
+    for outcomes, __ in (du_campaign, sp_campaign, sfu_campaign):
+        for outcome in outcomes.values():
+            module = experiment.modules[outcome.ptp.target]
+            tracing = run_logic_tracing(outcome.compacted, module,
+                                        gpu=experiment.gpu)
+            assert tracing.cycles == outcome.compacted_cycles
+
+
+def test_every_compaction_used_one_fault_sim(du_campaign, sp_campaign,
+                                             sfu_campaign):
+    for outcomes, __ in (du_campaign, sp_campaign, sfu_campaign):
+        for outcome in outcomes.values():
+            assert outcome.fault_simulations == 3  # 1 + 2 validation
+
+
+def test_aggregate_combines_all_campaigns(du_campaign, sp_campaign,
+                                          sfu_campaign):
+    outcomes = []
+    for campaign, __ in (du_campaign, sp_campaign, sfu_campaign):
+        outcomes.extend(campaign.values())
+    aggregate = stl_aggregate(outcomes)
+    assert -100.0 < aggregate["size_reduction_pct"] <= 0.0
+    assert -100.0 < aggregate["duration_reduction_pct"] <= 0.0
+
+
+def test_sizes_shrink_nowhere_grow(du_campaign, sp_campaign, sfu_campaign):
+    for outcomes, __ in (du_campaign, sp_campaign, sfu_campaign):
+        for outcome in outcomes.values():
+            assert outcome.compacted_size <= outcome.original_size
+            assert outcome.compacted_cycles <= outcome.original_cycles
