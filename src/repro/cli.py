@@ -8,6 +8,8 @@ the GPU's STLs."  This module is that tool's front end::
     python -m repro info      --module decoder_unit
     python -m repro generate  --ptp IMM --seed 0 --sbs 60 --out ptp_imm/
     python -m repro compact   --ptp-dir ptp_imm/ --out compacted/ --reports
+    python -m repro campaign  --stl-dir stl/ --out compacted/ --resume \
+                              --max-fc-drop 0.5 --ptp-timeout 300
     python -m repro tables    --scale smoke
 
 All simulation artifacts are written as text files (tracing report, VCDE
@@ -22,13 +24,16 @@ import sys
 
 from .analysis import experiments as _experiments
 from .analysis.tables import render_table1, table1_rows
+from .core.campaign import run_stl_campaign
+from .core.checkpoint import CampaignCheckpoint
 from .core.pipeline import CompactionPipeline
-from .core.reports import (write_compaction_summary, write_fault_sim_report,
-                           write_labeled_ptp)
+from .core.reports import (write_campaign_summary, write_compaction_summary,
+                           write_fault_sim_report, write_labeled_ptp)
 from .core.patterns import write_pattern_report
+from .errors import ReproError
 from .gpu.trace import write_trace_report
 from .netlist.modules import build_decoder_unit, build_sfu, build_sp_core
-from .stl.io import load_ptp, save_ptp
+from .stl.io import load_ptp, load_stl, save_ptp, save_stl
 
 _MODULE_BUILDERS = {
     "decoder_unit": lambda width: build_decoder_unit(),
@@ -114,6 +119,35 @@ def cmd_compact(args):
     return 0
 
 
+def cmd_campaign(args):
+    stl = load_stl(args.stl_dir)
+    targets = []
+    for ptp in stl:
+        if ptp.target not in targets:
+            targets.append(ptp.target)
+    modules = {name: _build_module(name, args.width) for name in targets}
+    checkpoint_path = args.checkpoint or os.path.join(args.out,
+                                                     "campaign.json")
+    checkpoint = CampaignCheckpoint.load_or_create(checkpoint_path,
+                                                   resume=args.resume)
+    reports = run_stl_campaign(
+        stl, modules,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        evaluate=not args.no_evaluate,
+        max_fc_drop=args.max_fc_drop,
+        ptp_timeout=args.ptp_timeout,
+        max_trace_cycles=args.max_trace_cycles,
+        keep_going=args.keep_going,
+    )
+    for report in reports:
+        print(write_campaign_summary(report))
+    save_stl(stl, args.out)
+    print("STL ({} PTPs) written to {}; checkpoint at {}".format(
+        len(stl), args.out, checkpoint_path))
+    return 1 if any(report.num_failed for report in reports) else 0
+
+
 def cmd_tables(args):
     scale = _experiments.SMOKE if args.scale == "smoke" else (
         _experiments.DEFAULT)
@@ -181,6 +215,46 @@ def build_parser():
                            help="also write trace/VCDE/FSR/LPTP files")
     p_compact.set_defaults(func=cmd_compact)
 
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="resiliently compact a whole STL directory, with "
+             "checkpoint/resume")
+    p_campaign.add_argument("--stl-dir", required=True,
+                            help="STL directory (stl.json manifest + one "
+                                 "subdirectory per PTP)")
+    p_campaign.add_argument("--out", required=True,
+                            help="output STL directory")
+    p_campaign.add_argument("--width", type=int, default=16)
+    p_campaign.add_argument("--checkpoint",
+                            help="checkpoint file (default: "
+                                 "<out>/campaign.json)")
+    p_campaign.add_argument("--resume", action="store_true",
+                            help="skip PTPs recorded in the checkpoint and "
+                                 "restore the fault-dropping state")
+    p_campaign.add_argument("--max-fc-drop", type=float, default=None,
+                            metavar="PP",
+                            help="FC-regression guard: roll a compaction "
+                                 "back when it loses more than PP "
+                                 "percentage points of FC (default: off; "
+                                 "0.0 = roll back any loss)")
+    p_campaign.add_argument("--ptp-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-PTP wall-clock watchdog budget")
+    p_campaign.add_argument("--max-trace-cycles", type=int, default=None,
+                            metavar="CCS",
+                            help="per-PTP traced-kernel cycle budget")
+    keep = p_campaign.add_mutually_exclusive_group()
+    keep.add_argument("--keep-going", dest="keep_going",
+                      action="store_true", default=True,
+                      help="continue past failed PTPs (default)")
+    keep.add_argument("--fail-fast", dest="keep_going",
+                      action="store_false",
+                      help="abort the campaign at the first failed PTP")
+    p_campaign.add_argument("--no-evaluate", action="store_true",
+                            help="skip stage-5 FC evaluation (disables the "
+                                 "FC-regression guard)")
+    p_campaign.set_defaults(func=cmd_campaign)
+
     p_tables = sub.add_parser("tables",
                               help="regenerate the paper's tables")
     p_tables.add_argument("--scale", choices=("smoke", "default"),
@@ -193,7 +267,12 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("repro: {}: {}".format(type(exc).__name__, exc),
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

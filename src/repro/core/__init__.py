@@ -9,10 +9,15 @@
 * Stage 5 — :func:`~repro.core.fc_eval.evaluate_fc` and STL reassembly.
 
 :class:`~repro.core.pipeline.CompactionPipeline` drives all five stages with
-cross-PTP fault dropping.
+cross-PTP fault dropping; :class:`~repro.core.campaign.CompactionCampaign`
+wraps it into a resilient multi-PTP campaign (failure isolation, watchdog
+budgets, FC-regression guard, checkpoint/resume).
 """
 
+from .campaign import (CampaignReport, CompactionCampaign, PtpRecord,
+                       Watchdog, run_stl_campaign)
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg, find_loops
+from .checkpoint import CampaignCheckpoint
 from .fc_eval import FcEvaluation, combined_fc, evaluate_fc
 from .labeling import ESSENTIAL, UNESSENTIAL, LabeledPtp, label_instructions
 from .partition import PartitionResult, partition_ptp
@@ -21,7 +26,8 @@ from .patterns import (PatternReport, parse_pattern_report,
 from .pipeline import CompactionOutcome, CompactionPipeline
 from .reduction import (ReductionResult, SmallBlock, reduce_ptp,
                         segment_small_blocks)
-from .reports import (parse_fault_sim_report, write_compaction_summary,
+from .reports import (parse_fault_sim_report, parse_labeled_ptp,
+                      write_campaign_summary, write_compaction_summary,
                       write_fault_sim_report, write_labeled_ptp)
 from .tracing import TracingResult, collector_for, run_logic_tracing
 
@@ -34,6 +40,9 @@ __all__ = [
     "reduce_ptp", "segment_small_blocks", "ReductionResult", "SmallBlock",
     "evaluate_fc", "combined_fc", "FcEvaluation",
     "CompactionPipeline", "CompactionOutcome",
+    "CompactionCampaign", "CampaignReport", "PtpRecord", "Watchdog",
+    "run_stl_campaign", "CampaignCheckpoint",
     "write_fault_sim_report", "parse_fault_sim_report",
-    "write_labeled_ptp", "write_compaction_summary",
+    "write_labeled_ptp", "parse_labeled_ptp",
+    "write_compaction_summary", "write_campaign_summary",
 ]

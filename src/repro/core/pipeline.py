@@ -32,6 +32,12 @@ from .reduction import reduce_ptp
 from .tracing import run_logic_tracing
 
 
+#: Pipeline stage names, in execution order.  ``stage_hook`` callbacks and
+#: :class:`~repro.errors.PtpFailure.stage` use these exact strings.
+STAGES = ("partition", "tracing", "fault_simulation", "reduction",
+          "evaluation")
+
+
 @dataclass
 class CompactionOutcome:
     """Everything produced by compacting one PTP.
@@ -51,15 +57,18 @@ class CompactionOutcome:
     compacted_size: int = 0
     original_cycles: int = 0
     compacted_cycles: int = 0
-    original_fc: float = None
-    compacted_fc: float = None
+    original_fc: float | None = None
+    compacted_fc: float | None = None
     compaction_seconds: float = 0.0
     fault_simulations: int = 0
     newly_dropped_faults: int = 0
 
     @property
     def size_reduction_percent(self):
-        """Size compaction in percent (Table II/III column 3, negative)."""
+        """Size change in percent of the original size (Table II/III
+        column 3).  Sign convention: negative means the CPTP is *smaller*
+        (a -73% value reads "73% fewer instructions"); 0.0 means no
+        change.  Positive values cannot be produced by the pipeline."""
         if self.original_size == 0:
             return 0.0
         return -100.0 * (self.original_size - self.compacted_size) / (
@@ -67,6 +76,9 @@ class CompactionOutcome:
 
     @property
     def duration_reduction_percent(self):
+        """Duration change in percent of the original clock-cycle count.
+        Same sign convention as :attr:`size_reduction_percent`: negative
+        means the CPTP runs *shorter*."""
         if self.original_cycles == 0:
             return 0.0
         return -100.0 * (self.original_cycles - self.compacted_cycles) / (
@@ -74,7 +86,8 @@ class CompactionOutcome:
 
     @property
     def fc_diff(self):
-        """Compacted minus original FC, in percentage points."""
+        """Compacted minus original FC, in percentage points (negative
+        means the compaction *lost* coverage); None unless stage 5 ran."""
         if self.original_fc is None or self.compacted_fc is None:
             return None
         return self.compacted_fc - self.original_fc
@@ -92,7 +105,7 @@ class CompactionPipeline:
         self.outcomes = []
 
     def compact(self, ptp, reverse_patterns=False, evaluate=True,
-                dropping=True):
+                dropping=True, stage_hook=None):
         """Compact one PTP; returns a :class:`CompactionOutcome`.
 
         Args:
@@ -105,28 +118,41 @@ class CompactionPipeline:
             dropping: label against the module's *remaining* fault list and
                 update it afterwards (the paper's configuration); False
                 uses the full list and leaves the report untouched.
+            stage_hook: optional ``hook(stage, **info)`` called on entry to
+                each stage of :data:`STAGES`; after tracing completes the
+                ``fault_simulation`` call carries ``cycles=<kernel ccs>``.
+                Campaign watchdogs hook in here; an exception raised from
+                a stage-1..4 hook aborts the compaction before the fault
+                report is mutated (drops land between reduction and
+                evaluation, and detected faults stay covered by the
+                original PTP either way).
         """
         if ptp.target != self.module.name:
             raise CompactionError("PTP {!r} targets {!r}, pipeline is for "
                                   "{!r}".format(ptp.name, ptp.target,
                                                 self.module.name))
+        hook = stage_hook or (lambda stage, **info: None)
         started = time.perf_counter()
 
         # Stage 1: partitioning.
+        hook("partition")
         partition = partition_ptp(ptp)
         # Stage 2: logic tracing (RTL trace + GL pattern report).
+        hook("tracing")
         tracing = run_logic_tracing(ptp, self.module, gpu=self.gpu)
         report = tracing.pattern_report
         if reverse_patterns:
             report = report.reversed()
         patterns = report.to_pattern_set()
         # Stage 3: ONE optimized fault simulation + labeling.
+        hook("fault_simulation", cycles=tracing.cycles)
         target_list = (self.fault_report.remaining if dropping
                        else self.fault_report.full_list)
         fault_result = self.simulator.run(patterns, target_list)
         labeled = label_instructions(ptp, tracing.trace, report,
                                      fault_result)
         # Stage 4: reduction.
+        hook("reduction")
         reduction = reduce_ptp(labeled, partition)
         compaction_seconds = time.perf_counter() - started
 
@@ -149,6 +175,7 @@ class CompactionPipeline:
         )
 
         # Stage 5: reassembly validation (evaluation-only fault sims).
+        hook("evaluation")
         if evaluate:
             original_eval = evaluate_fc(ptp, self.module, gpu=self.gpu,
                                         reverse_patterns=reverse_patterns)

@@ -35,15 +35,32 @@ def write_fault_sim_report(fault_result, pattern_report, dropping=True):
     return "\n".join(lines) + "\n"
 
 
+def _parse_header(line, tag):
+    """Parse a ``#TAG key=value ...`` header line; raises with line 1."""
+    header = {}
+    for part in line.split()[1:]:
+        if "=" not in part:
+            raise ReportError(
+                "{} line 1: malformed header field {!r} (expected "
+                "key=value)".format(tag, part))
+        key, value = part.split("=", 1)
+        header[key] = value
+    return header
+
+
 def parse_fault_sim_report(text):
     """Parse a Fault Sim Report; returns (header dict, rows).
 
     Rows are (pattern_index, cc, detected_count) tuples.
+
+    Raises:
+        ReportError: truncated or malformed input; the message carries
+            the offending 1-based line number.
     """
     lines = text.splitlines()
     if not lines or not lines[0].startswith("#FSR"):
         raise ReportError("missing FSR header")
-    header = dict(part.split("=", 1) for part in lines[0].split()[1:])
+    header = _parse_header(lines[0], "FSR")
     rows = []
     for lineno, line in enumerate(lines[1:], start=2):
         line = line.strip()
@@ -51,9 +68,28 @@ def parse_fault_sim_report(text):
             continue
         parts = line.split()
         if len(parts) != 3:
-            raise ReportError("FSR line {}: expected 3 fields".format(
-                lineno))
-        rows.append(tuple(int(p) for p in parts))
+            raise ReportError("FSR line {}: expected 3 fields, got {}"
+                              .format(lineno, len(parts)))
+        try:
+            row = tuple(int(p) for p in parts)
+        except ValueError:
+            raise ReportError("FSR line {}: non-integer field in {!r}"
+                              .format(lineno, line))
+        if any(value < 0 for value in row):
+            raise ReportError("FSR line {}: negative field in {!r}"
+                              .format(lineno, line))
+        rows.append(row)
+    if "patterns" in header:
+        try:
+            declared = int(header["patterns"])
+        except ValueError:
+            raise ReportError("FSR line 1: non-integer patterns={!r}"
+                              .format(header["patterns"]))
+        if len(rows) != declared:
+            raise ReportError(
+                "FSR truncated: header declares {} pattern row(s), found "
+                "{} (last row at line {})".format(
+                    declared, len(rows), len(lines)))
     return header, rows
 
 
@@ -67,6 +103,58 @@ def write_labeled_ptp(labeled):
         lines.append("{} {:5d}  {}".format(flag, pc,
                                            format_instruction(instr)))
     return "\n".join(lines) + "\n"
+
+
+def parse_labeled_ptp(text):
+    """Parse a Labeled PTP listing; returns (header dict, rows).
+
+    Rows are (essential: bool, pc, assembly text) tuples.
+
+    Raises:
+        ReportError: truncated or malformed input; the message carries
+            the offending 1-based line number.
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("#LPTP"):
+        raise ReportError("missing LPTP header")
+    header = _parse_header(lines[0], "LPTP")
+    rows = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            raise ReportError("LPTP line {}: expected '<E|u> <pc> "
+                              "<assembly>'".format(lineno))
+        flag, pc_text, assembly = parts
+        if flag not in ("E", "u"):
+            raise ReportError("LPTP line {}: bad label flag {!r}".format(
+                lineno, flag))
+        try:
+            pc = int(pc_text)
+        except ValueError:
+            raise ReportError("LPTP line {}: non-integer pc {!r}".format(
+                lineno, pc_text))
+        if pc != len(rows):
+            raise ReportError(
+                "LPTP line {}: pc {} out of sequence (expected {})"
+                .format(lineno, pc, len(rows)))
+        rows.append((flag == "E", pc, assembly))
+    for key in ("essential", "unessential"):
+        if key not in header:
+            continue
+        try:
+            declared = int(header[key])
+        except ValueError:
+            raise ReportError("LPTP line 1: non-integer {}={!r}".format(
+                key, header[key]))
+        counted = sum(1 for essential, __, __t in rows
+                      if essential == (key == "essential"))
+        if counted != declared:
+            raise ReportError(
+                "LPTP truncated: header declares {} {} instruction(s), "
+                "found {}".format(declared, key, counted))
+    return header, rows
 
 
 def write_compaction_summary(outcome):
@@ -87,4 +175,37 @@ def write_compaction_summary(outcome):
                  "1 for the compaction itself)".format(
                      outcome.compaction_seconds, outcome.fault_simulations,
                      "s" if outcome.fault_simulations != 1 else ""))
+    return "\n".join(lines) + "\n"
+
+
+def write_campaign_summary(report):
+    """Render a :class:`~repro.core.campaign.CampaignReport` as text.
+
+    One line per PTP — status, then sizes and FC when available, or the
+    failure diagnostic — plus the module's cumulative coverage footer.
+    """
+    lines = ["CAMPAIGN {} — {} PTP(s)".format(report.module_name,
+                                              len(report.records))]
+    for record in report.records:
+        status = record.status
+        if record.prior_status is not None:
+            status = "{} ({} in interrupted run)".format(
+                status, record.prior_status)
+        detail = ""
+        if record.failure is not None:
+            detail = "  [{} at {}: {}]".format(
+                record.failure.error_code, record.failure.stage or "?",
+                record.failure.message)
+        elif record.numbers.get("original_size"):
+            numbers = record.numbers
+            detail = "  size {} -> {}".format(numbers["original_size"],
+                                              numbers["compacted_size"])
+            if numbers.get("fc_diff") is not None:
+                detail += ", FC diff {:+.2f}pp".format(numbers["fc_diff"])
+        lines.append("  {:<12} {:<12}{}".format(record.name, status,
+                                                detail))
+    lines.append("  coverage: {:.2f}% ({}/{} faults dropped)".format(
+        report.coverage_percent,
+        report.total_faults - report.remaining_faults,
+        report.total_faults))
     return "\n".join(lines) + "\n"

@@ -2,7 +2,16 @@
 
 Every error raised by the library derives from :class:`ReproError` so callers
 can catch library failures without masking programming errors.
+
+The campaign layer additionally uses :class:`PtpFailure` — not an
+exception but the structured *record* of one caught per-PTP failure
+(error code, pipeline stage, context) that campaign reports and
+checkpoints carry around.
 """
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 
 class ReproError(Exception):
@@ -53,3 +62,88 @@ class CompactionError(ReproError):
 
 class ReportError(ReproError):
     """A report file could not be parsed or round-tripped."""
+
+
+class CampaignError(ReproError):
+    """A compaction campaign was misconfigured or aborted (fail-fast)."""
+
+
+class WatchdogError(CampaignError):
+    """Base class for per-PTP watchdog breaches.
+
+    Attributes:
+        stage: name of the pipeline stage active at the breach.
+    """
+
+    def __init__(self, message, stage=None):
+        super().__init__(message)
+        self.stage = stage
+
+
+class PtpTimeoutError(WatchdogError):
+    """One PTP's compaction exceeded its wall-clock budget."""
+
+
+class CycleBudgetError(WatchdogError):
+    """One PTP's logic tracing exceeded its clock-cycle budget."""
+
+
+class CheckpointError(CampaignError):
+    """A campaign checkpoint file is missing, corrupt, or incompatible."""
+
+
+#: error_code used for failures that are not ReproError subclasses.
+UNKNOWN_ERROR_CODE = "UnknownError"
+
+
+@dataclass
+class PtpFailure:
+    """Structured record of one caught per-PTP campaign failure.
+
+    Attributes:
+        ptp_name: name of the PTP whose compaction failed.
+        error_code: exception class name (e.g. ``"FaultSimError"``).
+        stage: pipeline stage active when the error was raised
+            (``"partition"`` ... ``"evaluation"``), or None if unknown.
+        message: the exception's message text.
+        context: free-form diagnostic details (module, thresholds, ...).
+    """
+
+    ptp_name: str
+    error_code: str
+    stage: str | None = None
+    message: str = ""
+    context: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(cls, ptp_name, exc, stage=None, context=None):
+        """Build a failure record from a caught exception."""
+        stage = getattr(exc, "stage", None) or stage
+        return cls(ptp_name=ptp_name,
+                   error_code=type(exc).__name__,
+                   stage=stage,
+                   message=str(exc),
+                   context=dict(context or {}))
+
+    def to_dict(self):
+        return {
+            "ptp_name": self.ptp_name,
+            "error_code": self.error_code,
+            "stage": self.stage,
+            "message": self.message,
+            "context": dict(self.context),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(ptp_name=data["ptp_name"],
+                   error_code=data.get("error_code", UNKNOWN_ERROR_CODE),
+                   stage=data.get("stage"),
+                   message=data.get("message", ""),
+                   context=dict(data.get("context", {})))
+
+    def describe(self):
+        """One-line human-readable summary."""
+        where = " at stage {}".format(self.stage) if self.stage else ""
+        return "{}: {}{}: {}".format(self.ptp_name, self.error_code, where,
+                                     self.message)

@@ -74,3 +74,48 @@ class FaultListReport:
         """Restore the full fault list (new compaction campaign)."""
         self.remaining = FaultList(self.netlist, list(self.full_list))
         self._detected_by = {}
+
+    # -- checkpoint state -----------------------------------------------
+
+    def state_dict(self):
+        """JSON-serializable snapshot of the dropping state.
+
+        Faults are referenced by their stable id in the full (never
+        shrinking) list — :func:`~repro.faults.fault.enumerate_faults` is
+        deterministic for a given netlist, so ids are reproducible across
+        processes.  ``total_faults`` doubles as a compatibility
+        fingerprint for :meth:`restore_state`.
+        """
+        return {
+            "total_faults": self.total_faults,
+            "detected": [[self.full_list.id_of(fault), label]
+                         for fault, label in sorted(
+                             self._detected_by.items(),
+                             key=lambda item: self.full_list.id_of(item[0]))],
+        }
+
+    def restore_state(self, state):
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        The rebuilt ``remaining`` list is bit-identical to the one the
+        snapshotted report held: :meth:`drop` filters the remaining list
+        in full-list order, and so does this.
+
+        Raises:
+            FaultSimError: the snapshot belongs to a different fault list
+                (size mismatch or out-of-range fault ids).
+        """
+        if state.get("total_faults") != self.total_faults:
+            raise FaultSimError(
+                "checkpointed fault list has {} faults, module has {}"
+                .format(state.get("total_faults"), self.total_faults))
+        detected_by = {}
+        for fault_id, label in state.get("detected", []):
+            if not 0 <= fault_id < self.total_faults:
+                raise FaultSimError(
+                    "fault id {} outside the fault list".format(fault_id))
+            detected_by[self.full_list[fault_id]] = label
+        self._detected_by = detected_by
+        self.remaining = FaultList(
+            self.netlist,
+            [f for f in self.full_list if f not in detected_by])

@@ -1,4 +1,4 @@
-"""PTP persistence: save/load a PTP as a directory of text artifacts.
+"""PTP/STL persistence: directories of text artifacts, and JSON dicts.
 
 A saved PTP directory contains::
 
@@ -6,6 +6,14 @@ A saved PTP directory contains::
     ptp.json      metadata: name, target, style, kernel geometry, constant
                   bank, SB hints, signature flag
     memory.json   the initial global-memory image (operand arrays)
+
+A saved STL directory contains one PTP subdirectory per PTP plus an
+``stl.json`` manifest recording the STL order (the order is load-bearing:
+fault dropping makes compaction results depend on it).
+
+:func:`ptp_to_dict` / :func:`ptp_from_dict` are the same representation
+as one JSON value (program as assembly text) — campaign checkpoints embed
+compacted PTPs this way.
 
 Everything is human-readable, mirroring the paper's text-file toolchain,
 and round-trips exactly.
@@ -20,19 +28,16 @@ from ..errors import ReportError
 from ..gpu.config import KernelConfig
 from ..isa.assembler import assemble
 from ..isa.disassembler import disassemble
-from .ptp import ParallelTestProgram
+from .ptp import ParallelTestProgram, SelfTestLibrary
 
 _PROGRAM_FILE = "program.asm"
 _META_FILE = "ptp.json"
 _MEMORY_FILE = "memory.json"
+_STL_MANIFEST = "stl.json"
 
 
-def save_ptp(ptp, directory):
-    """Write *ptp* into *directory* (created if needed)."""
-    os.makedirs(directory, exist_ok=True)
-    with open(os.path.join(directory, _PROGRAM_FILE), "w") as handle:
-        handle.write(disassemble(list(ptp.program)) + "\n")
-    meta = {
+def _ptp_meta(ptp):
+    return {
         "name": ptp.name,
         "target": ptp.target,
         "style": ptp.style,
@@ -46,25 +51,9 @@ def save_ptp(ptp, directory):
                             for k, v in ptp.kernel.const_words.items()},
         },
     }
-    with open(os.path.join(directory, _META_FILE), "w") as handle:
-        json.dump(meta, handle, indent=2, sort_keys=True)
-    with open(os.path.join(directory, _MEMORY_FILE), "w") as handle:
-        json.dump({str(k): v for k, v in ptp.global_image.items()},
-                  handle, indent=0, sort_keys=True)
 
 
-def load_ptp(directory):
-    """Load a PTP previously written by :func:`save_ptp`."""
-    try:
-        with open(os.path.join(directory, _PROGRAM_FILE)) as handle:
-            program = assemble(handle.read())
-        with open(os.path.join(directory, _META_FILE)) as handle:
-            meta = json.load(handle)
-        with open(os.path.join(directory, _MEMORY_FILE)) as handle:
-            memory = {int(k): v for k, v in json.load(handle).items()}
-    except OSError as exc:
-        raise ReportError("cannot load PTP from {!r}: {}".format(directory,
-                                                                 exc))
+def _ptp_from_parts(program, meta, memory):
     kernel_meta = meta.get("kernel", {})
     kernel = KernelConfig(
         grid_blocks=kernel_meta.get("grid_blocks", 1),
@@ -83,3 +72,88 @@ def load_ptp(directory):
         sb_hints=[tuple(pair) for pair in meta.get("sb_hints", [])],
         uses_signature=meta.get("uses_signature", False),
     )
+
+
+def ptp_to_dict(ptp):
+    """One JSON-serializable value holding the whole PTP."""
+    data = _ptp_meta(ptp)
+    data["program"] = disassemble(list(ptp.program)) + "\n"
+    data["memory"] = {str(k): v for k, v in ptp.global_image.items()}
+    return data
+
+
+def ptp_from_dict(data):
+    """Inverse of :func:`ptp_to_dict`."""
+    try:
+        program = assemble(data["program"])
+        memory = {int(k): v for k, v in data.get("memory", {}).items()}
+        return _ptp_from_parts(program, data, memory)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReportError("malformed PTP dict: {!r}".format(exc))
+
+
+def save_ptp(ptp, directory):
+    """Write *ptp* into *directory* (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, _PROGRAM_FILE), "w") as handle:
+        handle.write(disassemble(list(ptp.program)) + "\n")
+    with open(os.path.join(directory, _META_FILE), "w") as handle:
+        json.dump(_ptp_meta(ptp), handle, indent=2, sort_keys=True)
+    with open(os.path.join(directory, _MEMORY_FILE), "w") as handle:
+        json.dump({str(k): v for k, v in ptp.global_image.items()},
+                  handle, indent=0, sort_keys=True)
+
+
+def load_ptp(directory):
+    """Load a PTP previously written by :func:`save_ptp`."""
+    try:
+        with open(os.path.join(directory, _PROGRAM_FILE)) as handle:
+            program = assemble(handle.read())
+        with open(os.path.join(directory, _META_FILE)) as handle:
+            meta = json.load(handle)
+        with open(os.path.join(directory, _MEMORY_FILE)) as handle:
+            memory = {int(k): v for k, v in json.load(handle).items()}
+    except OSError as exc:
+        raise ReportError("cannot load PTP from {!r}: {}".format(directory,
+                                                                 exc))
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ReportError("corrupt PTP files in {!r}: {}".format(directory,
+                                                                 exc))
+    return _ptp_from_parts(program, meta, memory)
+
+
+def save_stl(stl, directory):
+    """Write every PTP of *stl* plus the order manifest to *directory*."""
+    os.makedirs(directory, exist_ok=True)
+    for ptp in stl:
+        save_ptp(ptp, os.path.join(directory, ptp.name))
+    with open(os.path.join(directory, _STL_MANIFEST), "w") as handle:
+        json.dump({"ptps": [ptp.name for ptp in stl]}, handle, indent=2)
+
+
+def load_stl(directory):
+    """Load an STL directory written by :func:`save_stl`.
+
+    Without an ``stl.json`` manifest, every subdirectory containing a
+    ``ptp.json`` is loaded in sorted-name order (a warning-free fallback
+    for hand-assembled directories — but note the STL order matters).
+    """
+    manifest = os.path.join(directory, _STL_MANIFEST)
+    if os.path.exists(manifest):
+        try:
+            with open(manifest) as handle:
+                names = json.load(handle)["ptps"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ReportError("corrupt STL manifest {!r}: {}".format(
+                manifest, exc))
+    else:
+        if not os.path.isdir(directory):
+            raise ReportError("no STL directory {!r}".format(directory))
+        names = sorted(
+            entry for entry in os.listdir(directory)
+            if os.path.exists(os.path.join(directory, entry, _META_FILE)))
+        if not names:
+            raise ReportError("no PTP subdirectories in {!r}".format(
+                directory))
+    return SelfTestLibrary(
+        [load_ptp(os.path.join(directory, name)) for name in names])

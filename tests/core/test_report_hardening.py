@@ -1,0 +1,132 @@
+"""Report parsers vs truncated/malformed input (round-trip + corruption)."""
+
+import pytest
+
+from repro.core import CompactionPipeline
+from repro.core.reports import (parse_fault_sim_report, parse_labeled_ptp,
+                                write_fault_sim_report, write_labeled_ptp)
+from repro.errors import ReportError
+from repro.stl import generate_imm
+
+
+@pytest.fixture(scope="module")
+def du_reports(du_module, gpu):
+    """One real compaction's FSR and LPTP texts."""
+    pipeline = CompactionPipeline(du_module, gpu=gpu)
+    outcome = pipeline.compact(generate_imm(seed=4, num_sbs=5),
+                               evaluate=False)
+    fsr = write_fault_sim_report(outcome.fault_result,
+                                 outcome.tracing.pattern_report)
+    lptp = write_labeled_ptp(outcome.labeled)
+    return fsr, lptp, outcome
+
+
+# -- Fault Sim Report ----------------------------------------------------
+
+
+def test_fsr_round_trip(du_reports):
+    fsr, __, outcome = du_reports
+    header, rows = parse_fault_sim_report(fsr)
+    assert header["module"] == "decoder_unit"
+    assert int(header["patterns"]) == len(rows)
+    assert sum(count for __, __c, count in rows) == (
+        outcome.fault_result.num_detected)
+
+
+def test_fsr_missing_header():
+    with pytest.raises(ReportError, match="missing FSR header"):
+        parse_fault_sim_report("0 1 2\n")
+
+
+def test_fsr_malformed_header_field():
+    with pytest.raises(ReportError, match="line 1.*noequals"):
+        parse_fault_sim_report("#FSR module=du noequals\n0 0 0\n")
+
+
+def test_fsr_wrong_field_count_carries_line_number(du_reports):
+    fsr = du_reports[0]
+    lines = fsr.splitlines()
+    lines[3] = "1 2"
+    with pytest.raises(ReportError, match="line 4"):
+        parse_fault_sim_report("\n".join(lines))
+
+
+def test_fsr_non_integer_field_carries_line_number(du_reports):
+    fsr = du_reports[0]
+    lines = fsr.splitlines()
+    lines[2] = "1 xyz 0"
+    with pytest.raises(ReportError, match="line 3.*non-integer"):
+        parse_fault_sim_report("\n".join(lines))
+
+
+def test_fsr_negative_field_rejected():
+    with pytest.raises(ReportError, match="line 2.*negative"):
+        parse_fault_sim_report("#FSR patterns=1\n0 -3 0\n")
+
+
+def test_fsr_truncated_rows_detected(du_reports):
+    fsr = du_reports[0]
+    lines = fsr.splitlines()
+    truncated = "\n".join(lines[:len(lines) // 2])
+    with pytest.raises(ReportError, match="truncated"):
+        parse_fault_sim_report(truncated)
+
+
+def test_fsr_non_integer_patterns_header():
+    with pytest.raises(ReportError, match="patterns"):
+        parse_fault_sim_report("#FSR patterns=many\n")
+
+
+# -- Labeled PTP ---------------------------------------------------------
+
+
+def test_lptp_round_trip(du_reports):
+    __, lptp, outcome = du_reports
+    header, rows = parse_labeled_ptp(lptp)
+    assert header["name"] == "IMM"
+    assert len(rows) == outcome.original_size
+    essential = sum(1 for is_essential, __p, __t in rows if is_essential)
+    assert essential == int(header["essential"])
+    assert len(rows) - essential == int(header["unessential"])
+    # pcs are the dense 0..n-1 sequence.
+    assert [pc for __e, pc, __t in rows] == list(range(len(rows)))
+
+
+def test_lptp_missing_header():
+    with pytest.raises(ReportError, match="missing LPTP header"):
+        parse_labeled_ptp("E 0 EXIT\n")
+
+
+def test_lptp_bad_flag_carries_line_number(du_reports):
+    lptp = du_reports[1]
+    lines = lptp.splitlines()
+    lines[2] = lines[2].replace(lines[2].split()[0], "X", 1)
+    with pytest.raises(ReportError, match="line 3.*flag"):
+        parse_labeled_ptp("\n".join(lines))
+
+
+def test_lptp_non_integer_pc():
+    with pytest.raises(ReportError, match="line 2.*pc"):
+        parse_labeled_ptp("#LPTP name=X essential=0 unessential=1\n"
+                          "u abc EXIT\n")
+
+
+def test_lptp_out_of_sequence_pc():
+    with pytest.raises(ReportError, match="line 3.*out of sequence"):
+        parse_labeled_ptp("#LPTP name=X\nE 0 EXIT\nE 5 EXIT\n")
+
+
+def test_lptp_truncated_detected(du_reports):
+    lptp = du_reports[1]
+    lines = lptp.splitlines()
+    truncated = "\n".join(lines[:len(lines) // 2])
+    with pytest.raises(ReportError, match="truncated"):
+        parse_labeled_ptp(truncated)
+
+
+def test_lptp_truncated_line_detected(du_reports):
+    lptp = du_reports[1]
+    lines = lptp.splitlines()
+    lines[1] = "E 0"  # assembly text chopped off
+    with pytest.raises(ReportError, match="line 2"):
+        parse_labeled_ptp("\n".join(lines))

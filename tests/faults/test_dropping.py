@@ -69,3 +69,69 @@ def test_reset_restores_everything():
     report.reset()
     assert report.remaining_faults == report.total_faults
     assert report.detected_by(report.full_list[0]) is None
+
+
+# -- checkpoint state serialization --------------------------------------
+
+
+def test_state_round_trip_is_bit_identical():
+    report = FaultListReport(_netlist())
+    report.drop(list(report.remaining)[:3], "IMM")
+    report.drop(list(report.remaining)[:2], "MEM")
+    state = report.state_dict()
+
+    restored = FaultListReport(_netlist())
+    restored.restore_state(state)
+    assert list(restored.remaining) == list(report.remaining)
+    assert restored.remaining_faults == report.remaining_faults
+    assert all(restored.detected_by(f) == report.detected_by(f)
+               for f in report.full_list)
+    assert restored.coverage() == report.coverage()
+
+
+def test_state_is_json_serializable():
+    import json
+
+    report = FaultListReport(_netlist())
+    report.drop(list(report.remaining)[:3], "IMM")
+    round_tripped = json.loads(json.dumps(report.state_dict()))
+    restored = FaultListReport(_netlist())
+    restored.restore_state(round_tripped)
+    assert list(restored.remaining) == list(report.remaining)
+
+
+def test_restored_state_continues_dropping_identically():
+    """Drop A, snapshot, drop B — must equal restore-then-drop-B."""
+    straight = FaultListReport(_netlist())
+    straight.drop(list(straight.remaining)[:3], "A")
+    state = straight.state_dict()
+    straight.drop(list(straight.remaining)[:4], "B")
+
+    resumed = FaultListReport(_netlist())
+    resumed.restore_state(state)
+    resumed.drop(list(resumed.remaining)[:4], "B")
+    assert list(resumed.remaining) == list(straight.remaining)
+    assert resumed.state_dict() == straight.state_dict()
+
+
+def test_restore_rejects_wrong_fault_list_size():
+    report = FaultListReport(_netlist())
+    with pytest.raises(FaultSimError, match="faults"):
+        report.restore_state({"total_faults": 1, "detected": []})
+
+
+def test_restore_rejects_out_of_range_ids():
+    report = FaultListReport(_netlist())
+    state = {"total_faults": report.total_faults,
+             "detected": [[report.total_faults + 5, "IMM"]]}
+    with pytest.raises(FaultSimError, match="outside"):
+        report.restore_state(state)
+
+
+def test_empty_state_restores_full_list():
+    report = FaultListReport(_netlist())
+    fresh_state = report.state_dict()
+    report.drop(list(report.remaining)[:3], "IMM")
+    report.restore_state(fresh_state)
+    assert report.remaining_faults == report.total_faults
+    assert report.detected_by(report.full_list[0]) is None

@@ -1,10 +1,15 @@
-"""PTP save/load round trips."""
+"""PTP/STL save/load round trips."""
+
+import json
+import os
 
 import pytest
 
 from repro.errors import ReportError
-from repro.stl import generate_cntrl, generate_imm, generate_mem
-from repro.stl.io import load_ptp, save_ptp
+from repro.stl import (SelfTestLibrary, generate_cntrl, generate_imm,
+                       generate_mem)
+from repro.stl.io import (load_ptp, load_stl, ptp_from_dict, ptp_to_dict,
+                          save_ptp, save_stl)
 
 
 @pytest.mark.parametrize("generator,kwargs", [
@@ -42,3 +47,57 @@ def test_loaded_ptp_compacts_identically(tmp_path, du_module, gpu):
 def test_missing_directory_raises(tmp_path):
     with pytest.raises(ReportError):
         load_ptp(str(tmp_path / "nope"))
+
+
+def test_corrupt_meta_raises(tmp_path):
+    save_ptp(generate_imm(seed=6, num_sbs=3), str(tmp_path / "p"))
+    (tmp_path / "p" / "ptp.json").write_text("{ nope")
+    with pytest.raises(ReportError, match="corrupt"):
+        load_ptp(str(tmp_path / "p"))
+
+
+def test_ptp_dict_round_trip():
+    ptp = generate_mem(seed=6, num_sbs=4)
+    data = json.loads(json.dumps(ptp_to_dict(ptp)))  # via real JSON
+    loaded = ptp_from_dict(data)
+    assert loaded.name == ptp.name
+    assert list(loaded.program) == list(ptp.program)
+    assert loaded.global_image == ptp.global_image
+    assert loaded.kernel == ptp.kernel
+
+
+def test_ptp_from_dict_rejects_garbage():
+    with pytest.raises(ReportError, match="malformed"):
+        ptp_from_dict({"name": "X"})
+
+
+def test_stl_round_trip_preserves_order(tmp_path):
+    stl = SelfTestLibrary([generate_mem(seed=6, num_sbs=3),
+                           generate_imm(seed=6, num_sbs=3)])
+    save_stl(stl, str(tmp_path / "stl"))
+    loaded = load_stl(str(tmp_path / "stl"))
+    # MEM before IMM — the manifest keeps the (non-alphabetical) order.
+    assert [p.name for p in loaded] == ["MEM", "IMM"]
+    for original, reloaded in zip(stl, loaded):
+        assert list(reloaded.program) == list(original.program)
+
+
+def test_load_stl_without_manifest_sorts_subdirs(tmp_path):
+    save_ptp(generate_mem(seed=6, num_sbs=3), str(tmp_path / "s" / "MEM"))
+    save_ptp(generate_imm(seed=6, num_sbs=3), str(tmp_path / "s" / "IMM"))
+    loaded = load_stl(str(tmp_path / "s"))
+    assert [p.name for p in loaded] == ["IMM", "MEM"]
+
+
+def test_load_stl_empty_directory_raises(tmp_path):
+    os.makedirs(str(tmp_path / "empty"))
+    with pytest.raises(ReportError, match="no PTP"):
+        load_stl(str(tmp_path / "empty"))
+
+
+def test_load_stl_corrupt_manifest_raises(tmp_path):
+    save_stl(SelfTestLibrary([generate_imm(seed=6, num_sbs=3)]),
+             str(tmp_path / "stl"))
+    (tmp_path / "stl" / "stl.json").write_text("[]")
+    with pytest.raises(ReportError, match="manifest"):
+        load_stl(str(tmp_path / "stl"))

@@ -55,6 +55,75 @@ def test_compact_round_trip(tmp_path, capsys):
         assert os.path.getsize(path) > 0
 
 
+def test_repro_error_exits_2_with_one_line_diagnostic(tmp_path, capsys):
+    """Any ReproError must become exit code 2 + a one-line stderr
+    diagnostic, never an unhandled traceback."""
+    code = main(["compact", "--ptp-dir", str(tmp_path / "missing"),
+                 "--out", str(tmp_path / "out")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1
+    assert err.startswith("repro: ReportError:")
+    assert "Traceback" not in err
+
+
+def _write_stl(tmp_path, capsys):
+    from repro.stl import SelfTestLibrary, generate_imm, generate_mem
+    from repro.stl.io import save_stl
+
+    stl_dir = str(tmp_path / "stl")
+    save_stl(SelfTestLibrary([generate_imm(seed=5, num_sbs=4),
+                              generate_mem(seed=5, num_sbs=4)]), stl_dir)
+    capsys.readouterr()
+    return stl_dir
+
+
+def test_campaign_subcommand_end_to_end(tmp_path, capsys):
+    stl_dir = _write_stl(tmp_path, capsys)
+    out_dir = str(tmp_path / "out")
+    assert main(["campaign", "--stl-dir", stl_dir, "--out", out_dir,
+                 "--no-evaluate"]) == 0
+    out = capsys.readouterr().out
+    assert "CAMPAIGN decoder_unit" in out
+    assert "compacted" in out
+    assert os.path.exists(os.path.join(out_dir, "campaign.json"))
+    from repro.stl.io import load_stl
+
+    compacted = load_stl(out_dir)
+    assert [p.name for p in compacted] == ["IMM_compacted",
+                                           "MEM_compacted"]
+
+
+def test_campaign_resume_skips_completed(tmp_path, capsys):
+    stl_dir = _write_stl(tmp_path, capsys)
+    out_dir = str(tmp_path / "out")
+    main(["campaign", "--stl-dir", stl_dir, "--out", out_dir,
+          "--no-evaluate"])
+    capsys.readouterr()
+    assert main(["campaign", "--stl-dir", stl_dir, "--out", out_dir,
+                 "--no-evaluate", "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("skipped") == 2
+
+
+def test_campaign_resume_without_checkpoint_exits_2(tmp_path, capsys):
+    stl_dir = _write_stl(tmp_path, capsys)
+    code = main(["campaign", "--stl-dir", stl_dir,
+                 "--out", str(tmp_path / "fresh"), "--resume"])
+    assert code == 2
+    assert "CheckpointError" in capsys.readouterr().err
+
+
+def test_campaign_failed_ptp_exits_1(tmp_path, capsys):
+    stl_dir = _write_stl(tmp_path, capsys)
+    code = main(["campaign", "--stl-dir", stl_dir,
+                 "--out", str(tmp_path / "out"),
+                 "--no-evaluate", "--max-trace-cycles", "1"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "CycleBudgetError" in out
+
+
 def test_compact_reports_parse_back(tmp_path, capsys, du_module):
     src_dir = str(tmp_path / "src")
     out_dir = str(tmp_path / "out")
