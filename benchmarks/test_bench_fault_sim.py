@@ -1,0 +1,98 @@
+"""Benchmark: sequential vs. sharded stage-3 fault simulation.
+
+Times the decoder-unit stuck-at fault simulation (the wall-clock-dominant
+stage of every compaction campaign) over the IMM pattern set, sequentially
+and sharded at increasing job counts, asserts the results stay
+bit-identical, and writes ``BENCH_fault_sim.json`` at the repo root so the
+performance trajectory (patterns/s, faults/s, speedup vs. 1 job) is
+tracked across PRs.
+
+Speedup is hardware-dependent: on a single-core runner the sharded path
+pays pool overhead for no gain (speedup <= 1), which the JSON records
+honestly alongside ``cpu_count``.
+"""
+
+import json
+import os
+import time
+
+from repro.core.tracing import run_logic_tracing
+from repro.exec import ShardedFaultScheduler
+from repro.faults import FaultList, FaultSimulator
+from repro.netlist.modules import build_decoder_unit
+from repro.stl import generate_imm
+
+_JOB_COUNTS = (1, 2, 4)
+_OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         os.pardir, "BENCH_fault_sim.json")
+
+
+def _time_run(fn, repeats=3):
+    """Best-of-N wall time (minimizes scheduler noise on shared runners)."""
+    best = None
+    result = None
+    for __ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_bench_sequential_vs_sharded_fault_sim():
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    module = build_decoder_unit()
+    ptp = generate_imm(seed=0, num_sbs=12 if smoke else 60)
+    tracing = run_logic_tracing(ptp, module)
+    patterns = tracing.pattern_report.to_pattern_set()
+    simulator = FaultSimulator(module.netlist)
+    fault_list = FaultList(module.netlist)
+
+    baseline_seconds, baseline = _time_run(
+        lambda: simulator.run(patterns, fault_list))
+
+    rows = []
+    for jobs in _JOB_COUNTS:
+        scheduler = ShardedFaultScheduler(jobs=jobs)
+        seconds, result = _time_run(
+            lambda: scheduler.run(simulator, patterns, fault_list))
+        assert result.detection_words == baseline.detection_words
+        assert result.first_detection == baseline.first_detection
+        rows.append({
+            "jobs": jobs,
+            "seconds": seconds,
+            "patterns_per_second": patterns.count / seconds,
+            "faults_per_second": len(fault_list) / seconds,
+        })
+    one_job = rows[0]["seconds"]
+    for row in rows:
+        row["speedup_vs_1job"] = one_job / row["seconds"]
+
+    document = {
+        "workload": {
+            "module": module.name,
+            "ptp": ptp.name,
+            "patterns": patterns.count,
+            "faults": len(fault_list),
+            "smoke": smoke,
+        },
+        "cpu_count": os.cpu_count(),
+        "sequential_seconds": baseline_seconds,
+        "runs": rows,
+    }
+    with open(_OUT_PATH, "w") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+
+    print()
+    print("fault-sim bench ({} faults x {} patterns, {} CPU(s)):".format(
+        len(fault_list), patterns.count, os.cpu_count()))
+    for row in rows:
+        print("  jobs={}: {:.3f}s, {:.0f} patterns/s, "
+              "speedup x{:.2f}".format(row["jobs"], row["seconds"],
+                                       row["patterns_per_second"],
+                                       row["speedup_vs_1job"]))
+
+    # Sanity floor, not a perf gate: every configuration computed the
+    # same result and recorded a positive rate.
+    assert all(row["patterns_per_second"] > 0 for row in rows)
+    assert os.path.getsize(_OUT_PATH) > 0

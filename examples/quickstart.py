@@ -7,10 +7,16 @@ five-stage compaction pipeline, and prints the Table-II-shaped summary:
 compacted size, duration, fault-coverage delta, and the number of fault
 simulations the compaction itself needed (exactly one).
 
+The pipeline runs with the artifact cache and run metrics attached, so a
+second invocation reuses the memoized stage-2 traces (the metrics table at
+the end reports the cache hit/miss counters; set REPRO_CACHE_DIR to
+relocate the cache, REPRO_JOBS to shard the fault simulation).
+
 Run:  python examples/quickstart.py
 """
 
 from repro.core import CompactionPipeline, write_compaction_summary
+from repro.exec import ArtifactCache, RunMetrics
 from repro.netlist.modules import build_decoder_unit
 from repro.stl import generate_imm
 
@@ -28,7 +34,9 @@ def main():
         ptp.size, ptp.kernel.grid_blocks, ptp.kernel.block_threads))
 
     print("Compacting (stages 1-5) ...")
-    pipeline = CompactionPipeline(decoder_unit)
+    cache = ArtifactCache()
+    metrics = RunMetrics()
+    pipeline = CompactionPipeline(decoder_unit, cache=cache, metrics=metrics)
     outcome = pipeline.compact(ptp)
 
     print()
@@ -42,6 +50,10 @@ def main():
     print("module fault list:      {} faults, {} dropped by this PTP"
           .format(pipeline.fault_report.total_faults,
                   outcome.newly_dropped_faults))
+
+    metrics.absorb_cache_stats(cache.stats)
+    print()
+    print(metrics.summary_table())
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from .core.reports import (write_campaign_summary, write_compaction_summary,
                            write_fault_sim_report, write_labeled_ptp)
 from .core.patterns import write_pattern_report
 from .errors import ReproError
+from .exec import ArtifactCache, RunMetrics, default_cache_dir, resolve_jobs
 from .gpu.trace import write_trace_report
 from .netlist.modules import build_decoder_unit, build_sfu, build_sp_core
 from .stl.io import load_ptp, load_stl, save_ptp, save_stl
@@ -94,14 +95,34 @@ def cmd_generate(args):
     return 0
 
 
+def _exec_options(args):
+    """(jobs, cache, metrics) from the shared exec CLI flags."""
+    jobs = (args.jobs if args.jobs is not None
+            else resolve_jobs(None, default=os.cpu_count() or 1))
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    return jobs, cache, RunMetrics()
+
+
+def _finish_metrics(metrics, cache, path):
+    """Fold in cache counters, persist (optional), print the summary."""
+    if cache is not None:
+        metrics.absorb_cache_stats(cache.stats)
+    if path:
+        metrics.save(path)
+    print(metrics.summary_table())
+
+
 def cmd_compact(args):
     ptp = load_ptp(args.ptp_dir)
     module = _build_module(ptp.target, args.width)
-    pipeline = CompactionPipeline(module)
+    jobs, cache, metrics = _exec_options(args)
+    pipeline = CompactionPipeline(module, jobs=jobs, cache=cache,
+                                  metrics=metrics)
     outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
                                evaluate=not args.no_evaluate)
     save_ptp(outcome.compacted, args.out)
     print(write_compaction_summary(outcome))
+    _finish_metrics(metrics, cache, args.metrics_out)
     if args.reports:
         reports_dir = os.path.join(args.out, "reports")
         os.makedirs(reports_dir, exist_ok=True)
@@ -130,6 +151,7 @@ def cmd_campaign(args):
                                                      "campaign.json")
     checkpoint = CampaignCheckpoint.load_or_create(checkpoint_path,
                                                    resume=args.resume)
+    jobs, cache, metrics = _exec_options(args)
     reports = run_stl_campaign(
         stl, modules,
         checkpoint=checkpoint,
@@ -139,12 +161,19 @@ def cmd_campaign(args):
         ptp_timeout=args.ptp_timeout,
         max_trace_cycles=args.max_trace_cycles,
         keep_going=args.keep_going,
+        jobs=jobs,
+        cache=cache,
+        metrics=metrics,
     )
     for report in reports:
         print(write_campaign_summary(report))
     save_stl(stl, args.out)
-    print("STL ({} PTPs) written to {}; checkpoint at {}".format(
-        len(stl), args.out, checkpoint_path))
+    # Metrics land next to the checkpoint unless routed elsewhere.
+    metrics_path = args.metrics_out or os.path.join(
+        os.path.dirname(os.path.abspath(checkpoint_path)), "metrics.json")
+    _finish_metrics(metrics, cache, metrics_path)
+    print("STL ({} PTPs) written to {}; checkpoint at {}; metrics at {}"
+          .format(len(stl), args.out, checkpoint_path, metrics_path))
     return 1 if any(report.num_failed for report in reports) else 0
 
 
@@ -181,6 +210,24 @@ def cmd_tables(args):
     return 0
 
 
+def _add_exec_arguments(parser):
+    """Parallel-execution-engine flags shared by compact and campaign."""
+    group = parser.add_argument_group("execution engine")
+    group.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="fault-simulation worker processes (default: "
+                            "$REPRO_JOBS or the CPU count; results are "
+                            "bit-identical at any job count)")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="artifact cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed artifact cache "
+                            "(every stage-2 simulation recomputes)")
+    group.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the run-metrics JSON here (campaign "
+                            "default: metrics.json next to the checkpoint)")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -213,6 +260,7 @@ def build_parser():
                            help="skip the stage-5 validation fault sims")
     p_compact.add_argument("--reports", action="store_true",
                            help="also write trace/VCDE/FSR/LPTP files")
+    _add_exec_arguments(p_compact)
     p_compact.set_defaults(func=cmd_compact)
 
     p_campaign = sub.add_parser(
@@ -253,6 +301,7 @@ def build_parser():
     p_campaign.add_argument("--no-evaluate", action="store_true",
                             help="skip stage-5 FC evaluation (disables the "
                                  "FC-regression guard)")
+    _add_exec_arguments(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_tables = sub.add_parser("tables",

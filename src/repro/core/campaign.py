@@ -203,6 +203,12 @@ class CompactionCampaign:
     def module_name(self):
         return self.pipeline.module.name
 
+    @property
+    def metrics(self):
+        """The pipeline's :class:`~repro.exec.metrics.RunMetrics`
+        accumulator (None when the pipeline runs without metrics)."""
+        return self.pipeline.metrics
+
     # -- resume ----------------------------------------------------------
 
     def _restore(self):
@@ -261,10 +267,18 @@ class CompactionCampaign:
             return
         compacted = (record.outcome.compacted
                      if record.status == COMPACTED else None)
+        # Checkpoint the artifact content keys this PTP touched, plus the
+        # fingerprint of the dropping state it left behind — a resumed
+        # campaign reuses the artifacts and can verify it restored the
+        # exact fault list they were produced under.
+        cache_keys = (dict(record.outcome.cache_keys)
+                      if record.outcome is not None else {})
+        cache_keys["fault_state"] = self.pipeline.fault_report.fingerprint()
         self.checkpoint.record_ptp(record.name, record.status,
                                    numbers=record.numbers,
                                    failure=record.failure,
-                                   compacted=compacted)
+                                   compacted=compacted,
+                                   cache_keys=cache_keys)
         self.checkpoint.record_module_state(
             self.module_name, self.pipeline.fault_report.state_dict())
         self.checkpoint.save()
@@ -314,7 +328,8 @@ class CompactionCampaign:
 
 
 def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
-                     reverse_for=("SFU_IMM",), evaluate=True, **kwargs):
+                     reverse_for=("SFU_IMM",), evaluate=True, jobs=None,
+                     cache=None, metrics=None, **kwargs):
     """Run one campaign per target module of *stl*, sharing a checkpoint.
 
     Modules are processed in order of first appearance in the STL, each
@@ -328,6 +343,13 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
             :class:`HardwareModule` — must cover every PTP target.
         gpu: optional shared GPU model.
         checkpoint / resume: as for :class:`CompactionCampaign`.
+        jobs: stage-3/5 fault-simulation worker processes, shared by
+            every per-module pipeline (None: ``$REPRO_JOBS`` or 1).
+        cache: optional shared
+            :class:`~repro.exec.cache.ArtifactCache`.
+        metrics: optional shared
+            :class:`~repro.exec.metrics.RunMetrics` accumulating over
+            the whole multi-module campaign.
         **kwargs: forwarded to every :class:`CompactionCampaign`.
 
     Returns:
@@ -344,7 +366,8 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
     reports = []
     for target in targets:
         campaign = CompactionCampaign(
-            CompactionPipeline(modules[target], gpu=gpu),
+            CompactionPipeline(modules[target], gpu=gpu, jobs=jobs,
+                               cache=cache, metrics=metrics),
             checkpoint=checkpoint, **kwargs)
         reports.append(campaign.run(stl, reverse_for=reverse_for,
                                     evaluate=evaluate, resume=resume))

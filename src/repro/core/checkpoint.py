@@ -39,10 +39,18 @@ class CampaignCheckpoint:
         {
           "version": 1,
           "ptps": {name: {"status": ..., "failure": {...} | null,
-                          "numbers": {...}, "compacted": {...} | null}},
+                          "numbers": {...}, "compacted": {...} | null,
+                          "cache_keys": {...}}},
           "order": [names in completion order],
           "modules": {module_name: <FaultListReport.state_dict()>}
         }
+
+    ``cache_keys`` (added by the exec subsystem) maps artifact names to
+    the SHA-256 content keys the PTP's compaction touched in the
+    :class:`~repro.exec.cache.ArtifactCache`; a resumed campaign reuses
+    those artifacts without recomputing their keys.  The field is
+    optional, so version-1 checkpoints written before it existed still
+    load.
     """
 
     def __init__(self, path):
@@ -60,7 +68,7 @@ class CampaignCheckpoint:
         return self.ptps.get(name)
 
     def record_ptp(self, name, status, numbers=None, failure=None,
-                   compacted=None):
+                   compacted=None, cache_keys=None):
         """Record one PTP's final campaign outcome.
 
         Args:
@@ -69,6 +77,8 @@ class CampaignCheckpoint:
             numbers: optional dict of summary numbers (sizes, FC, ...).
             failure: optional :class:`~repro.errors.PtpFailure`.
             compacted: the compacted PTP (status ``"compacted"`` only).
+            cache_keys: optional artifact-name -> content-key dict from
+                :attr:`~repro.core.pipeline.CompactionOutcome.cache_keys`.
         """
         from ..stl.io import ptp_to_dict
 
@@ -78,10 +88,19 @@ class CampaignCheckpoint:
             "failure": failure.to_dict() if failure is not None else None,
             "compacted": (ptp_to_dict(compacted)
                           if compacted is not None else None),
+            "cache_keys": dict(cache_keys or {}),
         }
         if name not in self.ptps:
             self.order.append(name)
         self.ptps[name] = entry
+
+    def ptp_cache_keys(self, name):
+        """Artifact cache keys recorded for *name* ({} when absent —
+        including checkpoints written before the exec subsystem)."""
+        entry = self.ptps.get(name)
+        if entry is None:
+            return {}
+        return dict(entry.get("cache_keys") or {})
 
     def record_module_state(self, module_name, state):
         """Record a module's fault-dropping :meth:`state_dict` snapshot."""

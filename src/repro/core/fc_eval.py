@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from ..faults.fault import FaultList
 from ..faults.fault_sim import FaultSimulator
-from .tracing import run_logic_tracing
 
 
 @dataclass
@@ -42,10 +41,14 @@ class FcEvaluation:
     cycles: int
     pattern_count: int
     observability: str
+    #: artifact-cache key of the tracing this evaluation used (None when
+    #: no cache was attached).
+    cache_key: str | None = None
 
 
 def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
-                reverse_patterns=False):
+                reverse_patterns=False, cache=None, scheduler=None,
+                metrics=None):
     """Fault-simulate *ptp* end to end and report its FC.
 
     Args:
@@ -58,16 +61,28 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
             for PTPs with ``uses_signature`` and "module" otherwise.
         reverse_patterns: apply the pattern sequence in reverse order (the
             paper does this for SFU_IMM).
+        cache: optional :class:`~repro.exec.cache.ArtifactCache` — the
+            tracing is looked up/stored by content key (a repeated
+            evaluation, e.g. the FC-guard's stage-5 re-run, skips the
+            RTL/GL simulation entirely).
+        scheduler: optional
+            :class:`~repro.exec.scheduler.ShardedFaultScheduler` for the
+            module-observability fault simulation (the signature fold is
+            sequential — its per-thread MISR state does not shard).
+        metrics: optional :class:`~repro.exec.metrics.RunMetrics`.
 
     Returns:
         An :class:`FcEvaluation`.
     """
+    from ..exec.cache import cached_logic_tracing
+
     if fault_list is None:
         fault_list = FaultList(module.netlist)
     if observability is None:
         observability = "signature" if ptp.uses_signature else "module"
 
-    tracing = run_logic_tracing(ptp, module, gpu=gpu)
+    tracing, cache_key, __ = cached_logic_tracing(ptp, module, gpu, cache,
+                                                  metrics)
     report = tracing.pattern_report
     if reverse_patterns:
         report = report.reversed()
@@ -80,6 +95,9 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
             report.thread_sequences())
         detected = {fault for fault, hit in zip(fault_list,
                                                 signature_detected) if hit}
+    elif scheduler is not None:
+        result = scheduler.run(simulator, patterns, fault_list)
+        detected = set(result.detected_faults)
     else:
         result = simulator.run(patterns, fault_list)
         detected = set(result.detected_faults)
@@ -92,6 +110,7 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
         cycles=tracing.cycles,
         pattern_count=patterns.count,
         observability=observability,
+        cache_key=cache_key,
     )
 
 

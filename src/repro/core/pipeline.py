@@ -19,9 +19,12 @@ the paper's MEM-after-IMM and RAND-after-TPGEN effect).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 
 from ..errors import CompactionError
+from ..exec.cache import cached_logic_tracing
+from ..exec.scheduler import ShardedFaultScheduler
 from ..faults.dropping import FaultListReport
 from ..faults.fault_sim import FaultSimulator
 from ..gpu.gpu import Gpu
@@ -29,7 +32,6 @@ from .fc_eval import evaluate_fc
 from .labeling import label_instructions
 from .partition import partition_ptp
 from .reduction import reduce_ptp
-from .tracing import run_logic_tracing
 
 
 #: Pipeline stage names, in execution order.  ``stage_hook`` callbacks and
@@ -62,6 +64,10 @@ class CompactionOutcome:
     compaction_seconds: float = 0.0
     fault_simulations: int = 0
     newly_dropped_faults: int = 0
+    #: artifact-cache keys touched by this compaction (name -> SHA-256),
+    #: e.g. ``{"tracing": ..., "evaluation_compacted": ...}``; campaign
+    #: checkpoints persist them so resumed runs reuse the artifacts.
+    cache_keys: dict = field(default_factory=dict)
 
     @property
     def size_reduction_percent(self):
@@ -94,15 +100,43 @@ class CompactionOutcome:
 
 
 class CompactionPipeline:
-    """Compaction tool for PTPs targeting one GPU module."""
+    """Compaction tool for PTPs targeting one GPU module.
 
-    def __init__(self, module, gpu=None, collapse=True):
+    Args:
+        module: the target :class:`HardwareModule`.
+        gpu: optional shared GPU model.
+        collapse: build the collapsed module fault list (the default).
+        jobs: worker processes for stage-3/5 fault simulation (None:
+            ``$REPRO_JOBS`` or sequential; sharded results are
+            bit-identical to sequential ones).
+        cache: optional :class:`~repro.exec.cache.ArtifactCache`
+            memoizing stage-2 tracing artifacts across runs.
+        metrics: optional :class:`~repro.exec.metrics.RunMetrics`
+            accumulating stage timings, throughput, and cache counters.
+    """
+
+    def __init__(self, module, gpu=None, collapse=True, jobs=None,
+                 cache=None, metrics=None):
         self.module = module
         self.gpu = gpu or Gpu()
         self.fault_report = FaultListReport(module.netlist,
                                             collapse=collapse)
         self.simulator = FaultSimulator(module.netlist)
+        self.cache = cache
+        self.metrics = metrics
+        self.scheduler = ShardedFaultScheduler(jobs=jobs, metrics=metrics)
         self.outcomes = []
+
+    @property
+    def jobs(self):
+        """Resolved stage-3 worker process count (1 = sequential)."""
+        return self.scheduler.jobs
+
+    def _timed(self, stage):
+        """Stage-timer context (no-op without a metrics object)."""
+        if self.metrics is None:
+            return nullcontext()
+        return self.metrics.stage_timer(stage)
 
     def compact(self, ptp, reverse_patterns=False, evaluate=True,
                 dropping=True, stage_hook=None):
@@ -134,26 +168,39 @@ class CompactionPipeline:
         hook = stage_hook or (lambda stage, **info: None)
         started = time.perf_counter()
 
+        cache_keys = {}
         # Stage 1: partitioning.
         hook("partition")
-        partition = partition_ptp(ptp)
-        # Stage 2: logic tracing (RTL trace + GL pattern report).
+        with self._timed("partition"):
+            partition = partition_ptp(ptp)
+        # Stage 2: logic tracing (RTL trace + GL pattern report),
+        # memoized by the artifact cache when one is attached.
         hook("tracing")
-        tracing = run_logic_tracing(ptp, self.module, gpu=self.gpu)
+        with self._timed("tracing"):
+            tracing, key, __ = cached_logic_tracing(
+                ptp, self.module, self.gpu, self.cache, self.metrics)
+            if key is not None:
+                cache_keys["tracing"] = key
         report = tracing.pattern_report
         if reverse_patterns:
             report = report.reversed()
         patterns = report.to_pattern_set()
-        # Stage 3: ONE optimized fault simulation + labeling.
+        # Stage 3: ONE optimized fault simulation + labeling.  Sharding
+        # happens *after* the drop filter (the scheduler sees the already
+        # filtered target list) and the merged result feeds the drop
+        # below, so cross-PTP dropping survives parallel execution.
         hook("fault_simulation", cycles=tracing.cycles)
         target_list = (self.fault_report.remaining if dropping
                        else self.fault_report.full_list)
-        fault_result = self.simulator.run(patterns, target_list)
+        with self._timed("fault_simulation"):
+            fault_result = self.scheduler.run(self.simulator, patterns,
+                                              target_list)
         labeled = label_instructions(ptp, tracing.trace, report,
                                      fault_result)
         # Stage 4: reduction.
         hook("reduction")
-        reduction = reduce_ptp(labeled, partition)
+        with self._timed("reduction"):
+            reduction = reduce_ptp(labeled, partition)
         compaction_seconds = time.perf_counter() - started
 
         if dropping:
@@ -172,25 +219,41 @@ class CompactionPipeline:
             compaction_seconds=compaction_seconds,
             fault_simulations=1,
             newly_dropped_faults=dropped,
+            cache_keys=cache_keys,
         )
 
         # Stage 5: reassembly validation (evaluation-only fault sims).
+        # The original PTP's tracing hits the stage-2 cache entry; the
+        # compacted PTP gets its own content key.
         hook("evaluation")
-        if evaluate:
-            original_eval = evaluate_fc(ptp, self.module, gpu=self.gpu,
-                                        reverse_patterns=reverse_patterns)
-            compacted_eval = evaluate_fc(reduction.compacted, self.module,
-                                         gpu=self.gpu,
-                                         reverse_patterns=reverse_patterns)
-            outcome.original_fc = original_eval.fc_percent
-            outcome.compacted_fc = compacted_eval.fc_percent
-            outcome.original_cycles = original_eval.cycles
-            outcome.compacted_cycles = compacted_eval.cycles
-            outcome.fault_simulations += 2
-        else:
-            compacted_tracing = run_logic_tracing(reduction.compacted,
-                                                  self.module, gpu=self.gpu)
-            outcome.compacted_cycles = compacted_tracing.cycles
+        with self._timed("evaluation"):
+            if evaluate:
+                original_eval = evaluate_fc(
+                    ptp, self.module, gpu=self.gpu,
+                    reverse_patterns=reverse_patterns, cache=self.cache,
+                    scheduler=self.scheduler, metrics=self.metrics)
+                compacted_eval = evaluate_fc(
+                    reduction.compacted, self.module, gpu=self.gpu,
+                    reverse_patterns=reverse_patterns, cache=self.cache,
+                    scheduler=self.scheduler, metrics=self.metrics)
+                if original_eval.cache_key is not None:
+                    cache_keys["evaluation_original"] = (
+                        original_eval.cache_key)
+                if compacted_eval.cache_key is not None:
+                    cache_keys["evaluation_compacted"] = (
+                        compacted_eval.cache_key)
+                outcome.original_fc = original_eval.fc_percent
+                outcome.compacted_fc = compacted_eval.fc_percent
+                outcome.original_cycles = original_eval.cycles
+                outcome.compacted_cycles = compacted_eval.cycles
+                outcome.fault_simulations += 2
+            else:
+                compacted_tracing, key, __ = cached_logic_tracing(
+                    reduction.compacted, self.module, self.gpu, self.cache,
+                    self.metrics)
+                if key is not None:
+                    cache_keys["evaluation_compacted"] = key
+                outcome.compacted_cycles = compacted_tracing.cycles
 
         self.outcomes.append(outcome)
         return outcome

@@ -92,6 +92,19 @@ class CheckpointError(CampaignError):
     """A campaign checkpoint file is missing, corrupt, or incompatible."""
 
 
+class ExecError(ReproError):
+    """Base class for parallel-execution-engine failures."""
+
+
+class SchedulerError(ExecError):
+    """The sharded fault-simulation scheduler was misconfigured or its
+    worker pool failed irrecoverably."""
+
+
+class CacheError(ExecError):
+    """The artifact cache directory cannot be created or written."""
+
+
 #: error_code used for failures that are not ReproError subclasses.
 UNKNOWN_ERROR_CODE = "UnknownError"
 

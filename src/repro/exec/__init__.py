@@ -1,0 +1,34 @@
+"""Parallel execution engine: sharding, artifact caching, run metrics.
+
+The exec subsystem makes compaction campaigns fast without changing what
+they compute:
+
+* :mod:`repro.exec.scheduler` — shards stage-3 fault simulation across a
+  process pool and merges per-shard results bit-identically to the
+  sequential run;
+* :mod:`repro.exec.cache` — content-addressed on-disk memoization of
+  stage-2 tracing artifacts (SHA-256 keys over PTP content, GPU config,
+  module fingerprint, stage name) with atomic writes and an LRU cap;
+* :mod:`repro.exec.metrics` — per-stage wall time, fault-sim throughput,
+  cache hit/miss counters, and shard utilization, persisted as JSON next
+  to the campaign checkpoint and rendered as the CLI's summary table.
+"""
+
+from .cache import (ArtifactCache, cached_logic_tracing, default_cache_dir,
+                    module_fingerprint)
+from .metrics import RunMetrics
+from .scheduler import (JOBS_ENV, ShardedFaultScheduler, resolve_jobs,
+                        run_sharded, shard_bounds)
+
+__all__ = [
+    "ArtifactCache",
+    "cached_logic_tracing",
+    "default_cache_dir",
+    "module_fingerprint",
+    "RunMetrics",
+    "JOBS_ENV",
+    "ShardedFaultScheduler",
+    "resolve_jobs",
+    "run_sharded",
+    "shard_bounds",
+]

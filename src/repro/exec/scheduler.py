@@ -1,0 +1,199 @@
+"""Sharded stage-3 fault simulation over a process pool.
+
+Gate-level stuck-at fault simulation is embarrassingly parallel across
+faults: each fault's detection word depends only on the (shared) good-
+machine values and its own fanout cone.  The scheduler exploits this by
+splitting a module's fault list into contiguous shards, simulating each
+shard in a worker process against the shared pattern set, and
+concatenating the per-shard results back in fault-list order — so the
+merged :class:`~repro.faults.fault_sim.FaultSimResult` is **bit-identical**
+to the sequential run (same ``detection_words``, same ``first_detection``,
+same fault order).
+
+Fault dropping composes with sharding because the pipeline shards *after*
+the drop filter (the scheduler receives the already-filtered remaining
+list) and merges *before* the next drop (the merged result feeds
+``FaultListReport.drop`` exactly as the sequential result would).
+
+Worker processes are primed once per pool via an initializer carrying the
+netlist, the observation points, and the packed pattern words; shard tasks
+then ship only fault lists, so per-task pickling stays small.  If the
+platform refuses to start a process pool (sandboxes, restricted
+containers), the scheduler falls back to inline execution and reports it
+through the metrics counter ``scheduler_inline_fallback``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..errors import SchedulerError
+from ..faults.fault import FaultList
+from ..faults.fault_sim import FaultSimResult
+
+#: Environment variable consulted when no explicit job count is given
+#: (lets CI run the whole tier-1 suite through the sharded path).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs=None, default=1):
+    """Normalize a job count.
+
+    ``None`` falls back to ``$REPRO_JOBS`` and then to *default*
+    (callers that want "use the machine" pass ``default=os.cpu_count()``).
+
+    Raises:
+        SchedulerError: non-positive or non-integer job count.
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV)
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise SchedulerError(
+                    "{}={!r} is not an integer".format(JOBS_ENV, env))
+        else:
+            jobs = default if default is not None else 1
+    if not isinstance(jobs, int) or jobs < 1:
+        raise SchedulerError("jobs must be a positive integer, got {!r}"
+                             .format(jobs))
+    return jobs
+
+
+def shard_bounds(count, shards):
+    """Contiguous balanced shard boundaries: [(start, stop), ...].
+
+    Deterministic: the first ``count % shards`` shards get one extra
+    element.  Empty shards are never produced (*shards* is clamped to
+    *count*; zero *count* yields no shards).
+    """
+    if count == 0:
+        return []
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    bounds = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# -- worker-process state ---------------------------------------------------
+#
+# The pool initializer builds one FaultSimulator and one PatternSet per
+# worker process; shard tasks reference them through this module global.
+# (Globals-in-worker is the standard ProcessPoolExecutor idiom for
+# send-once shared state.)
+
+_WORKER = None
+
+
+def _init_worker(netlist, observed, packed, count):
+    from ..faults.fault_sim import FaultSimulator
+    from ..netlist.simulator import PatternSet
+
+    global _WORKER
+    simulator = FaultSimulator(netlist, observed_outputs=observed)
+    patterns = PatternSet(netlist)
+    patterns.packed = dict(packed)
+    patterns.count = count
+    _WORKER = (simulator, patterns)
+
+
+def _run_shard(faults):
+    """Simulate one fault shard; returns (words, firsts, busy_seconds)."""
+    simulator, patterns = _WORKER
+    started = time.perf_counter()
+    result = simulator.run(patterns, FaultList(simulator.netlist, faults))
+    busy = time.perf_counter() - started
+    return result.detection_words, result.first_detection, busy
+
+
+class ShardedFaultScheduler:
+    """Runs a :class:`~repro.faults.fault_sim.FaultSimulator` workload
+    sharded across worker processes.
+
+    Args:
+        jobs: worker processes (None: ``$REPRO_JOBS`` or 1).  ``1`` runs
+            inline in this process with zero pool overhead.
+        min_faults_per_shard: below ``jobs * min_faults_per_shard`` faults
+            the pool is not worth its startup cost and the run goes
+            inline (the result is identical either way).
+        metrics: optional :class:`~repro.exec.metrics.RunMetrics`.
+    """
+
+    def __init__(self, jobs=None, min_faults_per_shard=32, metrics=None):
+        self.jobs = resolve_jobs(jobs)
+        self.min_faults_per_shard = min_faults_per_shard
+        self.metrics = metrics
+
+    def run(self, simulator, patterns, fault_list=None):
+        """Sharded equivalent of ``simulator.run(patterns, fault_list)``.
+
+        Returns a :class:`FaultSimResult` bit-identical to the sequential
+        call's.
+        """
+        if fault_list is None:
+            fault_list = FaultList(simulator.netlist)
+        started = time.perf_counter()
+        if (self.jobs == 1 or patterns.count == 0
+                or len(fault_list) < self.jobs * self.min_faults_per_shard):
+            result = simulator.run(patterns, fault_list)
+            self._record(result, time.perf_counter() - started, jobs=1)
+            return result
+        try:
+            result, busy = self._run_pool(simulator, patterns, fault_list)
+        except (OSError, PermissionError, BrokenProcessPool):
+            # Restricted environments (no fork/semaphores): degrade to the
+            # sequential path rather than failing the compaction.
+            if self.metrics is not None:
+                self.metrics.bump("scheduler_inline_fallback")
+            result = simulator.run(patterns, fault_list)
+            self._record(result, time.perf_counter() - started, jobs=1)
+            return result
+        self._record(result, time.perf_counter() - started, jobs=self.jobs,
+                     shard_busy=busy)
+        return result
+
+    def _run_pool(self, simulator, patterns, fault_list):
+        faults = list(fault_list)
+        bounds = shard_bounds(len(faults), self.jobs)
+        shards = [faults[start:stop] for start, stop in bounds]
+        initargs = (simulator.netlist, simulator.observed, patterns.packed,
+                    patterns.count)
+        detection_words = []
+        first_detection = []
+        busy = []
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(shards)),
+                                 initializer=_init_worker,
+                                 initargs=initargs) as pool:
+            # executor.map preserves submission order, which is fault-list
+            # order — the merge is a plain concatenation.
+            for words, firsts, shard_busy in pool.map(_run_shard, shards):
+                detection_words.extend(words)
+                first_detection.extend(firsts)
+                busy.append(shard_busy)
+        result = FaultSimResult(fault_list, patterns.count, detection_words,
+                                first_detection)
+        return result, busy
+
+    def _record(self, result, seconds, jobs, shard_busy=None):
+        if self.metrics is None:
+            return
+        self.metrics.record_fault_sim(
+            faults=len(result.fault_list), patterns=result.pattern_count,
+            seconds=seconds, jobs=jobs, shard_busy_seconds=shard_busy)
+
+
+def run_sharded(simulator, patterns, fault_list=None, jobs=None,
+                metrics=None):
+    """One-shot helper: sharded fault simulation without keeping a
+    scheduler object around."""
+    scheduler = ShardedFaultScheduler(jobs=jobs, metrics=metrics)
+    return scheduler.run(simulator, patterns, fault_list)

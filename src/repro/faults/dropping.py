@@ -10,6 +10,9 @@ standalone FC of RAND (compacted after TPGEN) in Table III.
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 from ..errors import FaultSimError
 from .fault import FaultList
 
@@ -93,6 +96,18 @@ class FaultListReport:
                              self._detected_by.items(),
                              key=lambda item: self.full_list.id_of(item[0]))],
         }
+
+    def fingerprint(self):
+        """Stable SHA-256 hex digest of the dropping state.
+
+        Two reports over the same netlist have equal fingerprints exactly
+        when their remaining lists (and detection attributions) are
+        identical — campaign checkpoints and run metrics use this to mark
+        which dropping state a shard/cache artifact was produced under.
+        """
+        payload = json.dumps(self.state_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def restore_state(self, state):
         """Restore a :meth:`state_dict` snapshot exactly.

@@ -22,6 +22,19 @@ from ..netlist.simulator import LogicSimulator
 from .fault import OUTPUT_PIN, FaultList
 
 
+def iter_set_bits(word):
+    """Yield the set-bit indices of *word*, ascending.
+
+    The canonical ``word & -word`` lowest-set-bit walk — every consumer of
+    packed detection words iterates through this one helper, so pattern
+    indices are derived identically everywhere.
+    """
+    while word:
+        low = word & -word
+        yield low.bit_length() - 1
+        word ^= low
+
+
 @dataclass
 class FaultSimResult:
     """Outcome of one fault simulation run.
@@ -76,10 +89,8 @@ class FaultSimResult:
                     counts[first] += 1
         else:
             for word in self.detection_words:
-                while word:
-                    low = word & -word
-                    counts[low.bit_length() - 1] += 1
-                    word ^= low
+                for index in iter_set_bits(word):
+                    counts[index] += 1
         return counts
 
     def detecting_patterns(self, dropping=True):
@@ -89,10 +100,7 @@ class FaultSimResult:
                     if first is not None}
         hits = set()
         for word in self.detection_words:
-            while word:
-                low = word & -word
-                hits.add(low.bit_length() - 1)
-                word ^= low
+            hits.update(iter_set_bits(word))
         return hits
 
 

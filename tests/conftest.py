@@ -30,3 +30,13 @@ def sfu_module():
 @pytest.fixture(scope="session")
 def gpu():
     return Gpu()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(monkeypatch, tmp_path_factory):
+    """Point the default artifact cache at a per-test temp dir so tests
+    never touch (or depend on) the user's ~/.cache/repro.  REPRO_JOBS is
+    deliberately left alone — CI runs the whole suite under REPRO_JOBS=2
+    to exercise the sharded scheduler path."""
+    monkeypatch.setenv("REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("artifact-cache")))

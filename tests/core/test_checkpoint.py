@@ -167,3 +167,32 @@ def test_resume_restores_dropping_order_semantics(du_module, gpu,
     # MEM's fault simulation ran against the restored (reduced) list.
     assert len(mem_record.outcome.fault_result.fault_list) == (
         first.pipeline.fault_report.remaining_faults)
+
+
+def test_cache_keys_round_trip_and_backward_compat(tmp_path):
+    from repro.core.checkpoint import CampaignCheckpoint
+
+    path = str(tmp_path / "ck.json")
+    checkpoint = CampaignCheckpoint(path)
+    keys = {"tracing": "a" * 64, "fault_state": "b" * 64}
+    checkpoint.record_ptp("IMM", "compacted", cache_keys=keys)
+    checkpoint.record_ptp("MEM", "failed")
+    checkpoint.save()
+
+    loaded = CampaignCheckpoint.load(path)
+    assert loaded.ptp_cache_keys("IMM") == keys
+    assert loaded.ptp_cache_keys("MEM") == {}
+    assert loaded.ptp_cache_keys("missing") == {}
+
+    # Version-1 checkpoints written before the exec subsystem lack the
+    # field entirely; they must still load and report no keys.
+    import json
+
+    with open(path) as handle:
+        document = json.load(handle)
+    for entry in document["ptps"].values():
+        entry.pop("cache_keys", None)
+    with open(path, "w") as handle:
+        json.dump(document, handle)
+    legacy = CampaignCheckpoint.load(path)
+    assert legacy.ptp_cache_keys("IMM") == {}

@@ -1,0 +1,159 @@
+"""Artifact cache: content addressing, atomicity, LRU cap, memoization."""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import (ArtifactCache, RunMetrics, cached_logic_tracing,
+                        default_cache_dir, module_fingerprint)
+from repro.gpu import Gpu
+from repro.gpu.config import GpuConfig
+from repro.stl import generate_imm
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(str(tmp_path / "cache"))
+
+
+# -- keys -------------------------------------------------------------------
+
+def test_key_is_stable_and_content_sensitive(cache, du_module, sp_module):
+    ptp_a = generate_imm(seed=1, num_sbs=3)
+    ptp_b = generate_imm(seed=2, num_sbs=3)
+    config = GpuConfig()
+    key = cache.key_for(ptp_a, config, du_module, "tracing")
+    assert key == cache.key_for(ptp_a, config, du_module, "tracing")
+    assert len(key) == 64 and int(key, 16) >= 0
+    # Any key ingredient changing changes the key.
+    assert key != cache.key_for(ptp_b, config, du_module, "tracing")
+    assert key != cache.key_for(ptp_a, config, du_module, "other-stage")
+    assert key != cache.key_for(ptp_a, GpuConfig(num_sps=16), du_module,
+                                "tracing")
+    assert key != cache.key_for(ptp_a, config, sp_module, "tracing")
+
+
+def test_module_fingerprint_distinguishes_builds(du_module, sp_module,
+                                                 sfu_module):
+    prints = {module_fingerprint(m)
+              for m in (du_module, sp_module, sfu_module)}
+    assert len(prints) == 3
+    assert module_fingerprint(du_module) == module_fingerprint(du_module)
+
+
+def test_default_cache_dir_honors_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == str(tmp_path / "elsewhere")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir().endswith(os.path.join(".cache", "repro"))
+
+
+# -- store ------------------------------------------------------------------
+
+def test_put_get_round_trip_and_counters(cache):
+    key = "ab" + "0" * 62
+    assert cache.get(key) is None
+    cache.put(key, {"cycles": 42, "rows": [[1, 2]]})
+    assert cache.get(key) == {"cycles": 42, "rows": [[1, 2]]}
+    assert cache.stats == {"hits": 1, "misses": 1, "puts": 1,
+                           "evictions": 0}
+    # Entries fan out under the first two key hex chars.
+    assert os.path.exists(os.path.join(cache.directory, "ab",
+                                       key + ".json"))
+
+
+def test_corrupt_entry_is_a_miss_and_deleted(cache):
+    key = "cd" + "1" * 62
+    cache.put(key, {"ok": True})
+    path = os.path.join(cache.directory, "cd", key + ".json")
+    with open(path, "w") as handle:
+        handle.write("{torn")
+    assert cache.get(key) is None
+    assert not os.path.exists(path)
+    assert cache.stats["misses"] == 1
+
+
+def test_no_temp_files_left_behind(cache):
+    for i in range(5):
+        cache.put("{:064x}".format(i), {"i": i})
+    leftovers = [name for __, __d, files in os.walk(cache.directory)
+                 for name in files if name.endswith(".tmp")]
+    assert leftovers == []
+
+
+def test_lru_eviction_drops_oldest_first(tmp_path):
+    # Cap sized to hold one entry (~80 bytes) but not two.
+    cache = ArtifactCache(str(tmp_path / "small"), max_bytes=100)
+    old_key, new_key = "{:064x}".format(1), "{:064x}".format(2)
+    cache.put(old_key, {"payload": "x" * 64})
+    # Backdate the first entry so mtime ordering is unambiguous.
+    old_path = cache._path_of(old_key)
+    assert os.path.exists(old_path)
+    os.utime(old_path, (1, 1))
+    cache.put(new_key, {"payload": "y" * 64})
+    assert not os.path.exists(old_path)
+    assert cache.stats["evictions"] == 1
+    # The newest entry survives the cap sweep that its own put triggered.
+    assert cache.get(new_key) is not None
+
+
+def test_clear_removes_entries(cache):
+    for i in range(3):
+        cache.put("{:064x}".format(i), {"i": i})
+    cache.clear()
+    assert cache._entries() == []
+
+
+# -- tracing memoization ----------------------------------------------------
+
+def test_cached_logic_tracing_round_trip(cache, du_module):
+    ptp = generate_imm(seed=4, num_sbs=4)
+    gpu = Gpu()
+    metrics = RunMetrics()
+    first, key, hit = cached_logic_tracing(ptp, du_module, gpu, cache,
+                                           metrics)
+    assert not hit and key is not None
+    second, key2, hit2 = cached_logic_tracing(ptp, du_module, gpu, cache,
+                                              metrics)
+    assert hit2 and key2 == key
+    # The reconstructed artifact is equivalent in every consumed field...
+    assert second.cycles == first.cycles
+    assert second.instructions == first.instructions
+    assert second.trace == first.trace
+    assert second.pattern_report.records == first.pattern_report.records
+    # ...except the deliberately uncached raw kernel result.
+    assert second.kernel_result is None
+    assert metrics.cache == {"hits": 1, "misses": 1, "puts": 0,
+                             "evictions": 0}
+
+
+def test_cached_payload_feeds_identical_fault_sim(cache, du_module):
+    from repro.faults import FaultList, FaultSimulator
+
+    ptp = generate_imm(seed=4, num_sbs=4)
+    gpu = Gpu()
+    fresh, __, __h = cached_logic_tracing(ptp, du_module, gpu, cache)
+    cached, __k, hit = cached_logic_tracing(ptp, du_module, gpu, cache)
+    assert hit
+    simulator = FaultSimulator(du_module.netlist)
+    fault_list = FaultList(du_module.netlist)
+    a = simulator.run(fresh.pattern_report.to_pattern_set(), fault_list)
+    b = simulator.run(cached.pattern_report.to_pattern_set(), fault_list)
+    assert a.detection_words == b.detection_words
+    assert a.first_detection == b.first_detection
+
+
+def test_without_cache_degrades_to_plain_tracing(du_module):
+    ptp = generate_imm(seed=4, num_sbs=3)
+    tracing, key, hit = cached_logic_tracing(ptp, du_module, Gpu(), None)
+    assert key is None and not hit
+    assert tracing.kernel_result is not None
+
+
+def test_entry_files_are_compact_json(cache, du_module):
+    ptp = generate_imm(seed=4, num_sbs=3)
+    __, key, __h = cached_logic_tracing(ptp, du_module, Gpu(), cache)
+    with open(cache._path_of(key)) as handle:
+        payload = json.load(handle)
+    assert set(payload) == {"cycles", "instructions", "trace", "patterns"}

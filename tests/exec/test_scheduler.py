@@ -1,0 +1,144 @@
+"""Sharded fault simulation: bit-identical merge, dropping, fallback."""
+
+import pytest
+
+from repro.core.pipeline import CompactionPipeline
+from repro.core.tracing import run_logic_tracing
+from repro.errors import SchedulerError
+from repro.exec import (RunMetrics, ShardedFaultScheduler, resolve_jobs,
+                        run_sharded, shard_bounds)
+from repro.faults import FaultList, FaultSimulator
+from repro.stl import generate_imm, generate_mem
+
+
+@pytest.fixture(scope="module")
+def du_workload(du_module):
+    """(simulator, patterns, fault_list) for one decoder-unit PTP."""
+    ptp = generate_imm(seed=11, num_sbs=5)
+    tracing = run_logic_tracing(ptp, du_module)
+    patterns = tracing.pattern_report.to_pattern_set()
+    return (FaultSimulator(du_module.netlist), patterns,
+            FaultList(du_module.netlist))
+
+
+# -- shard geometry ---------------------------------------------------------
+
+def test_shard_bounds_cover_exactly_once():
+    for count in (0, 1, 5, 7, 100):
+        for shards in (1, 2, 4, 7, 200):
+            bounds = shard_bounds(count, shards)
+            covered = [i for start, stop in bounds
+                       for i in range(start, stop)]
+            assert covered == list(range(count))
+            assert all(stop > start for start, stop in bounds)
+            # Balanced: sizes differ by at most one.
+            sizes = [stop - start for start, stop in bounds]
+            assert not sizes or max(sizes) - min(sizes) <= 1
+
+
+def test_resolve_jobs_env_and_validation(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(None, default=6) == 6
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert resolve_jobs(None) == 4
+    assert resolve_jobs(2) == 2          # explicit beats the env
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(SchedulerError):
+        resolve_jobs(None)
+    with pytest.raises(SchedulerError):
+        resolve_jobs(0)
+    with pytest.raises(SchedulerError):
+        resolve_jobs(-2)
+
+
+# -- merge equivalence ------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [1, 2, 4, 7])
+def test_sharded_result_bit_identical_to_sequential(du_workload, jobs):
+    simulator, patterns, fault_list = du_workload
+    sequential = simulator.run(patterns, fault_list)
+    sharded = run_sharded(simulator, patterns, fault_list, jobs=jobs)
+    assert sharded.pattern_count == sequential.pattern_count
+    assert sharded.detection_words == sequential.detection_words
+    assert sharded.first_detection == sequential.first_detection
+    assert list(sharded.fault_list) == list(sequential.fault_list)
+
+
+def test_sharded_run_records_metrics(du_workload):
+    simulator, patterns, fault_list = du_workload
+    metrics = RunMetrics()
+    scheduler = ShardedFaultScheduler(jobs=2, metrics=metrics)
+    scheduler.run(simulator, patterns, fault_list)
+    (run,) = metrics.fault_sim_runs
+    assert run["faults"] == len(fault_list)
+    assert run["patterns"] == patterns.count
+    assert run["jobs"] == 2
+    assert run["shards"] == 2
+    assert 0.0 < run["shard_utilization"] <= 1.0
+
+
+def test_small_fault_lists_run_inline(du_workload):
+    simulator, patterns, fault_list = du_workload
+    metrics = RunMetrics()
+    scheduler = ShardedFaultScheduler(jobs=4, metrics=metrics)
+    small = FaultList(simulator.netlist, list(fault_list)[:16])
+    result = scheduler.run(simulator, patterns, small)
+    assert result.detection_words == simulator.run(
+        patterns, small).detection_words
+    (run,) = metrics.fault_sim_runs
+    assert run["jobs"] == 1              # below jobs * min_faults_per_shard
+
+
+def test_pool_failure_falls_back_inline(du_workload, monkeypatch):
+    import repro.exec.scheduler as sched_mod
+
+    def broken_pool(*args, **kwargs):
+        raise OSError("no process spawning in this sandbox")
+
+    monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", broken_pool)
+    simulator, patterns, fault_list = du_workload
+    metrics = RunMetrics()
+    scheduler = ShardedFaultScheduler(jobs=4, metrics=metrics)
+    result = scheduler.run(simulator, patterns, fault_list)
+    assert result.first_detection == simulator.run(
+        patterns, fault_list).first_detection
+    assert metrics.counters["scheduler_inline_fallback"] == 1
+
+
+# -- dropping carried across PTPs ------------------------------------------
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_dropping_across_two_ptps_survives_sharding(du_module, jobs):
+    """IMM then MEM under fault dropping: every per-PTP artifact of the
+    sharded pipeline is bit-identical to the sequential pipeline's."""
+    def run_pipeline(job_count):
+        pipeline = CompactionPipeline(du_module, jobs=job_count)
+        outcomes = [
+            pipeline.compact(generate_imm(seed=7, num_sbs=4),
+                             evaluate=False),
+            pipeline.compact(generate_mem(seed=7, num_sbs=4),
+                             evaluate=False),
+        ]
+        return pipeline, outcomes
+
+    seq_pipeline, seq_outcomes = run_pipeline(1)
+    par_pipeline, par_outcomes = run_pipeline(jobs)
+
+    for seq, par in zip(seq_outcomes, par_outcomes):
+        # Stage-3 results merge bit-identically...
+        assert (par.fault_result.detection_words
+                == seq.fault_result.detection_words)
+        assert (par.fault_result.first_detection
+                == seq.fault_result.first_detection)
+        # ...so the second PTP simulated the same remaining list and the
+        # whole compaction is equivalent.
+        assert len(par.fault_result.fault_list) == len(
+            seq.fault_result.fault_list)
+        assert par.newly_dropped_faults == seq.newly_dropped_faults
+        assert list(par.compacted.program) == list(seq.compacted.program)
+    assert (par_pipeline.fault_report.fingerprint()
+            == seq_pipeline.fault_report.fingerprint())
+    assert (par_pipeline.fault_report.remaining_faults
+            == seq_pipeline.fault_report.remaining_faults)

@@ -170,3 +170,56 @@ def test_fault_sim_matches_brute_force_on_random_netlist(seed):
     for fault, word in zip(fault_list, result.detection_words):
         assert word == _brute_force_detection(nl, fault, assignments), (
             fault.describe(nl))
+
+
+# -- packed-word bit iteration (exec PR regression pin) ---------------------
+
+def _naive_detections_per_pattern(result):
+    """Reference implementation: test every bit of every word directly."""
+    counts = [0] * result.pattern_count
+    for word in result.detection_words:
+        for k in range(result.pattern_count):
+            if (word >> k) & 1:
+                counts[k] += 1
+    return counts
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                min_size=0, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_detections_per_pattern_matches_naive_bit_loop(words):
+    from repro.faults.fault_sim import FaultSimResult, iter_set_bits
+
+    pattern_count = 20
+    firsts = [(word & -word).bit_length() - 1 if word else None
+              for word in words]
+    result = FaultSimResult(fault_list=list(range(len(words))),
+                            pattern_count=pattern_count,
+                            detection_words=list(words),
+                            first_detection=firsts)
+    assert (result.detections_per_pattern(dropping=False)
+            == _naive_detections_per_pattern(result))
+    # The iterator is also what derives first detections and pattern sets.
+    naive_hits = {k for word in words for k in range(pattern_count)
+                  if (word >> k) & 1}
+    assert result.detecting_patterns(dropping=False) == naive_hits
+    for word, first in zip(words, firsts):
+        bits = list(iter_set_bits(word))
+        assert bits == sorted(bits)
+        assert (bits[0] if bits else None) == first
+
+
+def test_detections_per_pattern_counts_sum_to_bitcounts():
+    from repro.faults.fault_sim import FaultSimResult
+
+    words = [0b1011, 0b0110, 0, 0b1000]
+    result = FaultSimResult(fault_list=[0, 1, 2, 3], pattern_count=4,
+                            detection_words=words,
+                            first_detection=[0, 1, None, 3])
+    counts = result.detections_per_pattern(dropping=False)
+    assert sum(counts) == sum(w.bit_count() for w in words)
+    # With dropping, each detected fault counts exactly once, at its first
+    # detecting pattern.
+    dropped = result.detections_per_pattern(dropping=True)
+    assert dropped == [1, 1, 0, 1]
+    assert sum(dropped) == result.num_detected

@@ -144,3 +144,85 @@ def test_compact_reports_parse_back(tmp_path, capsys, du_module):
     with open(os.path.join(reports, "fault_sim.txt")) as handle:
         header, rows = parse_fault_sim_report(handle.read())
         assert rows
+
+
+# -- exec subsystem flags (--jobs / --cache-dir / --no-cache / --metrics) ---
+
+def test_compact_warm_cache_and_metrics(tmp_path, capsys):
+    src_dir = str(tmp_path / "src")
+    cache_dir = str(tmp_path / "cache")
+    main(["generate", "--ptp", "IMM", "--seed", "5", "--sbs", "5",
+          "--out", src_dir])
+    capsys.readouterr()
+    assert main(["compact", "--ptp-dir", src_dir,
+                 "--out", str(tmp_path / "out1"), "--jobs", "2",
+                 "--cache-dir", cache_dir,
+                 "--metrics-out", str(tmp_path / "m1.json")]) == 0
+    capsys.readouterr()
+    assert main(["compact", "--ptp-dir", src_dir,
+                 "--out", str(tmp_path / "out2"), "--jobs", "2",
+                 "--cache-dir", cache_dir,
+                 "--metrics-out", str(tmp_path / "m2.json")]) == 0
+    out = capsys.readouterr().out
+    assert "RUN METRICS" in out
+    import json
+
+    warm = json.loads((tmp_path / "m2.json").read_text())
+    assert warm["cache"]["hits"] >= 1
+    assert warm["cache"]["misses"] == 0
+    cold = json.loads((tmp_path / "m1.json").read_text())
+    assert cold["cache"]["puts"] >= 1
+    # Identical compaction either way.
+    from repro.stl.io import load_ptp as _load
+
+    assert list(_load(str(tmp_path / "out1")).program) == list(
+        _load(str(tmp_path / "out2")).program)
+
+
+def test_campaign_emits_metrics_and_cache_keys(tmp_path, capsys):
+    stl_dir = _write_stl(tmp_path, capsys)
+    out_dir = str(tmp_path / "out")
+    cache_dir = str(tmp_path / "cache")
+    assert main(["campaign", "--stl-dir", stl_dir, "--out", out_dir,
+                 "--no-evaluate", "--jobs", "2",
+                 "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "RUN METRICS" in out
+    assert "metrics at" in out
+    import json
+
+    metrics_path = os.path.join(out_dir, "metrics.json")
+    assert os.path.exists(metrics_path)
+    with open(metrics_path) as handle:
+        document = json.load(handle)
+    assert document["fault_sim"]["runs"]
+    # Checkpoint entries carry the artifact content keys + the dropping
+    # fingerprint for resume-time artifact reuse.
+    with open(os.path.join(out_dir, "campaign.json")) as handle:
+        checkpoint = json.load(handle)
+    for entry in checkpoint["ptps"].values():
+        keys = entry["cache_keys"]
+        assert "fault_state" in keys
+        assert "tracing" in keys and len(keys["tracing"]) == 64
+
+
+def test_campaign_no_cache_runs_without_cache_dir(tmp_path, capsys):
+    stl_dir = _write_stl(tmp_path, capsys)
+    out_dir = str(tmp_path / "out")
+    assert main(["campaign", "--stl-dir", stl_dir, "--out", out_dir,
+                 "--no-evaluate", "--no-cache",
+                 "--cache-dir", str(tmp_path / "never")]) == 0
+    out = capsys.readouterr().out
+    assert "0 hit(s), 0 miss(es)" in out
+    assert not os.path.exists(str(tmp_path / "never"))
+
+
+def test_help_documents_exec_flags(capsys):
+    for command in ("compact", "campaign"):
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        out = capsys.readouterr().out
+        assert "--no-cache" in out
+        assert "--jobs" in out
+        assert "--cache-dir" in out
+        assert "--metrics-out" in out
