@@ -117,7 +117,7 @@ def cmd_compact(args):
     module = _build_module(ptp.target, args.width)
     jobs, cache, metrics = _exec_options(args)
     pipeline = CompactionPipeline(module, jobs=jobs, cache=cache,
-                                  metrics=metrics)
+                                  metrics=metrics, engine=args.engine)
     outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
                                evaluate=not args.no_evaluate)
     save_ptp(outcome.compacted, args.out)
@@ -164,6 +164,7 @@ def cmd_campaign(args):
         jobs=jobs,
         cache=cache,
         metrics=metrics,
+        engine=args.engine,
     )
     for report in reports:
         print(write_campaign_summary(report))
@@ -226,6 +227,11 @@ def _add_exec_arguments(parser):
     group.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the run-metrics JSON here (campaign "
                             "default: metrics.json next to the checkpoint)")
+    group.add_argument("--engine", choices=("event", "cone"),
+                       default="event",
+                       help="fault-propagation engine (default: event; "
+                            "results are bit-identical, the cone walk is "
+                            "the slower reference)")
 
 
 def build_parser():

@@ -329,7 +329,7 @@ class CompactionCampaign:
 
 def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
                      reverse_for=("SFU_IMM",), evaluate=True, jobs=None,
-                     cache=None, metrics=None, **kwargs):
+                     cache=None, metrics=None, engine="event", **kwargs):
     """Run one campaign per target module of *stl*, sharing a checkpoint.
 
     Modules are processed in order of first appearance in the STL, each
@@ -350,6 +350,8 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
         metrics: optional shared
             :class:`~repro.exec.metrics.RunMetrics` accumulating over
             the whole multi-module campaign.
+        engine: fault-propagation engine for every per-module pipeline
+            (``"event"``/``"cone"``; bit-identical results).
         **kwargs: forwarded to every :class:`CompactionCampaign`.
 
     Returns:
@@ -367,7 +369,7 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
     for target in targets:
         campaign = CompactionCampaign(
             CompactionPipeline(modules[target], gpu=gpu, jobs=jobs,
-                               cache=cache, metrics=metrics),
+                               cache=cache, metrics=metrics, engine=engine),
             checkpoint=checkpoint, **kwargs)
         reports.append(campaign.run(stl, reverse_for=reverse_for,
                                     evaluate=evaluate, resume=resume))

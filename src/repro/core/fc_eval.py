@@ -48,7 +48,7 @@ class FcEvaluation:
 
 def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
                 reverse_patterns=False, cache=None, scheduler=None,
-                metrics=None):
+                metrics=None, engine="event"):
     """Fault-simulate *ptp* end to end and report its FC.
 
     Args:
@@ -70,6 +70,8 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
             module-observability fault simulation (the signature fold is
             sequential — its per-thread MISR state does not shard).
         metrics: optional :class:`~repro.exec.metrics.RunMetrics`.
+        engine: fault-propagation engine (``"event"``/``"cone"``); results
+            are bit-identical either way.
 
     Returns:
         An :class:`FcEvaluation`.
@@ -87,7 +89,7 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
     if reverse_patterns:
         report = report.reversed()
     patterns = report.to_pattern_set()
-    simulator = FaultSimulator(module.netlist)
+    simulator = FaultSimulator(module.netlist, engine=engine)
 
     if observability == "signature":
         result, signature_detected = simulator.run_signature(

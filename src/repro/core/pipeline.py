@@ -113,15 +113,19 @@ class CompactionPipeline:
             memoizing stage-2 tracing artifacts across runs.
         metrics: optional :class:`~repro.exec.metrics.RunMetrics`
             accumulating stage timings, throughput, and cache counters.
+        engine: stage-3/5 fault-propagation engine, ``"event"`` (default)
+            or ``"cone"`` — bit-identical results either way (see
+            :mod:`repro.faults.propagate`).
     """
 
     def __init__(self, module, gpu=None, collapse=True, jobs=None,
-                 cache=None, metrics=None):
+                 cache=None, metrics=None, engine="event"):
         self.module = module
         self.gpu = gpu or Gpu()
         self.fault_report = FaultListReport(module.netlist,
                                             collapse=collapse)
-        self.simulator = FaultSimulator(module.netlist)
+        self.simulator = FaultSimulator(module.netlist, engine=engine)
+        self.engine = engine
         self.cache = cache
         self.metrics = metrics
         self.scheduler = ShardedFaultScheduler(jobs=jobs, metrics=metrics)
@@ -231,11 +235,13 @@ class CompactionPipeline:
                 original_eval = evaluate_fc(
                     ptp, self.module, gpu=self.gpu,
                     reverse_patterns=reverse_patterns, cache=self.cache,
-                    scheduler=self.scheduler, metrics=self.metrics)
+                    scheduler=self.scheduler, metrics=self.metrics,
+                    engine=self.engine)
                 compacted_eval = evaluate_fc(
                     reduction.compacted, self.module, gpu=self.gpu,
                     reverse_patterns=reverse_patterns, cache=self.cache,
-                    scheduler=self.scheduler, metrics=self.metrics)
+                    scheduler=self.scheduler, metrics=self.metrics,
+                    engine=self.engine)
                 if original_eval.cache_key is not None:
                     cache_keys["evaluation_original"] = (
                         original_eval.cache_key)

@@ -63,7 +63,8 @@ class RunMetrics:
     # -- fault-simulation throughput ------------------------------------
 
     def record_fault_sim(self, faults, patterns, seconds, jobs=1,
-                         shard_busy_seconds=None):
+                         shard_busy_seconds=None, engine=None,
+                         gates_evaluated=None, gates_skipped=None):
         """Record one fault-simulation run.
 
         Args:
@@ -73,6 +74,11 @@ class RunMetrics:
             jobs: worker processes used (1 = sequential/inline).
             shard_busy_seconds: per-shard busy times (sharded runs only);
                 utilization = sum(busy) / (jobs * wall).
+            engine: propagation engine name (``"event"``/``"cone"``).
+            gates_evaluated: gate evaluations spent propagating faults.
+            gates_skipped: static-cone gates the engine never touched
+                (the event engine's trimmed execution redundancy; 0 for
+                the cone walk).
         """
         run = {
             "faults": faults,
@@ -83,6 +89,12 @@ class RunMetrics:
             "patterns_per_second": (patterns / seconds if seconds > 0
                                     else None),
         }
+        if engine is not None:
+            run["engine"] = engine
+        if gates_evaluated is not None:
+            run["gates_evaluated"] = gates_evaluated
+        if gates_skipped is not None:
+            run["gates_skipped"] = gates_skipped
         if shard_busy_seconds is not None:
             busy = sum(shard_busy_seconds)
             run["shards"] = len(shard_busy_seconds)
@@ -133,6 +145,16 @@ class RunMetrics:
             return None
         return sum(values) / len(values)
 
+    @property
+    def total_gates_evaluated(self):
+        return sum(run.get("gates_evaluated") or 0
+                   for run in self.fault_sim_runs)
+
+    @property
+    def total_gates_skipped(self):
+        return sum(run.get("gates_skipped") or 0
+                   for run in self.fault_sim_runs)
+
     # -- serialization ---------------------------------------------------
 
     def to_dict(self):
@@ -150,6 +172,8 @@ class RunMetrics:
                 "faults_per_second": self.aggregate_rate("faults"),
                 "patterns_per_second": self.aggregate_rate("patterns"),
                 "mean_shard_utilization": self.mean_shard_utilization(),
+                "total_gates_evaluated": self.total_gates_evaluated,
+                "total_gates_skipped": self.total_gates_skipped,
             },
             "cache": dict(self.cache),
             "counters": dict(self.counters),
@@ -206,6 +230,8 @@ class RunMetrics:
         lines.append("  shard utilization : {}".format(
             "n/a (no sharded runs)" if utilization is None
             else "{:.0%}".format(utilization)))
+        lines.append("  gates eval/skip   : {} / {}".format(
+            self.total_gates_evaluated, self.total_gates_skipped))
         lines.append("  cache             : {} hit(s), {} miss(es), "
                      "{} put(s), {} eviction(s)".format(
                          self.cache.get("hits", 0),

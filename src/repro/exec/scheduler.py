@@ -94,25 +94,34 @@ def shard_bounds(count, shards):
 _WORKER = None
 
 
-def _init_worker(netlist, observed, packed, count):
+def _init_worker(netlist, observed, packed, count, engine):
     from ..faults.fault_sim import FaultSimulator
     from ..netlist.simulator import PatternSet
 
     global _WORKER
-    simulator = FaultSimulator(netlist, observed_outputs=observed)
+    simulator = FaultSimulator(netlist, observed_outputs=observed,
+                               engine=engine)
     patterns = PatternSet(netlist)
     patterns.packed = dict(packed)
     patterns.count = count
     _WORKER = (simulator, patterns)
 
 
+def _stats_delta(simulator, before):
+    """Propagation-counter delta of *simulator* since snapshot *before*."""
+    return {key: value - before.get(key, 0)
+            for key, value in simulator.stats.items()}
+
+
 def _run_shard(faults):
-    """Simulate one fault shard; returns (words, firsts, busy_seconds)."""
+    """Simulate one fault shard; returns (words, firsts, busy, stats)."""
     simulator, patterns = _WORKER
+    before = dict(simulator.stats)
     started = time.perf_counter()
     result = simulator.run(patterns, FaultList(simulator.netlist, faults))
     busy = time.perf_counter() - started
-    return result.detection_words, result.first_detection, busy
+    return (result.detection_words, result.first_detection, busy,
+            _stats_delta(simulator, before))
 
 
 class ShardedFaultScheduler:
@@ -144,21 +153,28 @@ class ShardedFaultScheduler:
         started = time.perf_counter()
         if (self.jobs == 1 or patterns.count == 0
                 or len(fault_list) < self.jobs * self.min_faults_per_shard):
+            before = dict(simulator.stats)
             result = simulator.run(patterns, fault_list)
-            self._record(result, time.perf_counter() - started, jobs=1)
+            self._record(result, time.perf_counter() - started, jobs=1,
+                         engine=simulator.engine,
+                         stats=_stats_delta(simulator, before))
             return result
         try:
-            result, busy = self._run_pool(simulator, patterns, fault_list)
+            result, busy, stats = self._run_pool(simulator, patterns,
+                                                 fault_list)
         except (OSError, PermissionError, BrokenProcessPool):
             # Restricted environments (no fork/semaphores): degrade to the
             # sequential path rather than failing the compaction.
             if self.metrics is not None:
                 self.metrics.bump("scheduler_inline_fallback")
+            before = dict(simulator.stats)
             result = simulator.run(patterns, fault_list)
-            self._record(result, time.perf_counter() - started, jobs=1)
+            self._record(result, time.perf_counter() - started, jobs=1,
+                         engine=simulator.engine,
+                         stats=_stats_delta(simulator, before))
             return result
         self._record(result, time.perf_counter() - started, jobs=self.jobs,
-                     shard_busy=busy)
+                     shard_busy=busy, engine=simulator.engine, stats=stats)
         return result
 
     def _run_pool(self, simulator, patterns, fault_list):
@@ -166,29 +182,38 @@ class ShardedFaultScheduler:
         bounds = shard_bounds(len(faults), self.jobs)
         shards = [faults[start:stop] for start, stop in bounds]
         initargs = (simulator.netlist, simulator.observed, patterns.packed,
-                    patterns.count)
+                    patterns.count, simulator.engine)
         detection_words = []
         first_detection = []
         busy = []
+        stats = {}
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(shards)),
                                  initializer=_init_worker,
                                  initargs=initargs) as pool:
             # executor.map preserves submission order, which is fault-list
             # order — the merge is a plain concatenation.
-            for words, firsts, shard_busy in pool.map(_run_shard, shards):
+            for words, firsts, shard_busy, delta in pool.map(_run_shard,
+                                                             shards):
                 detection_words.extend(words)
                 first_detection.extend(firsts)
                 busy.append(shard_busy)
+                for key, value in delta.items():
+                    stats[key] = stats.get(key, 0) + value
         result = FaultSimResult(fault_list, patterns.count, detection_words,
                                 first_detection)
-        return result, busy
+        return result, busy, stats
 
-    def _record(self, result, seconds, jobs, shard_busy=None):
+    def _record(self, result, seconds, jobs, shard_busy=None, engine=None,
+                stats=None):
         if self.metrics is None:
             return
+        stats = stats or {}
         self.metrics.record_fault_sim(
             faults=len(result.fault_list), patterns=result.pattern_count,
-            seconds=seconds, jobs=jobs, shard_busy_seconds=shard_busy)
+            seconds=seconds, jobs=jobs, shard_busy_seconds=shard_busy,
+            engine=engine,
+            gates_evaluated=stats.get("gates_evaluated"),
+            gates_skipped=stats.get("gates_skipped"))
 
 
 def run_sharded(simulator, patterns, fault_list=None, jobs=None,

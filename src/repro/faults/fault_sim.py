@@ -10,6 +10,20 @@ Report* consumed by the instruction-labeling stage.
 All patterns are simulated at once per fault: net values are packed integers
 (bit ``k`` = value under pattern ``k``), so a fault's full detection word
 costs one traversal of its fanout cone.
+
+Two propagation engines compute that traversal (``engine=`` argument):
+
+* ``"event"`` (default) — the event-driven frontier of
+  :mod:`repro.faults.propagate`: faults advance level by level through a
+  precomputed schedule and stop the moment the fault effect dies out;
+  faults are grouped by cone head so per-head setup is shared.
+* ``"cone"`` — the classic static cone walk: every gate in the fault's
+  transitive fanout is visited, whether or not the effect is still alive.
+
+Both engines are bit-identical (same detection words, first detections,
+and signature verdicts); the event engine only trims execution redundancy.
+The ``stats`` counters (gates evaluated/visited/skipped, inactive/pruned
+faults) make that trimmed redundancy observable.
 """
 
 from __future__ import annotations
@@ -18,21 +32,12 @@ from dataclasses import dataclass
 
 from ..errors import FaultSimError
 from ..netlist.gates import evaluate
-from ..netlist.simulator import LogicSimulator
+from ..netlist.simulator import LogicSimulator, iter_set_bits  # noqa: F401
 from .fault import OUTPUT_PIN, FaultList
+from .propagate import EventDrivenEngine
 
-
-def iter_set_bits(word):
-    """Yield the set-bit indices of *word*, ascending.
-
-    The canonical ``word & -word`` lowest-set-bit walk — every consumer of
-    packed detection words iterates through this one helper, so pattern
-    indices are derived identically everywhere.
-    """
-    while word:
-        low = word & -word
-        yield low.bit_length() - 1
-        word ^= low
+#: Valid values of ``FaultSimulator(engine=...)``.
+ENGINES = ("event", "cone")
 
 
 @dataclass
@@ -112,9 +117,21 @@ class FaultSimulator:
         observed_outputs: optional subset of output nets used as the
             observation point; defaults to all primary outputs
             (module-level observability).
+        engine: ``"event"`` (default) or ``"cone"`` — see the module
+            docstring.  Results are bit-identical either way.
+
+    Attributes:
+        stats: cumulative propagation counters across every run of this
+            simulator — ``gates_evaluated`` (gate evaluations during
+            propagation), ``gates_visited`` (gates touched at all: equals
+            evaluations for the event engine, the full static cone for the
+            cone engine), ``gates_skipped`` (static-cone gates the event
+            engine never touched), ``faults_inactive`` (activation check
+            failed), ``faults_pruned`` (event engine: cone head cannot
+            reach any observation point).
     """
 
-    def __init__(self, netlist, observed_outputs=None):
+    def __init__(self, netlist, observed_outputs=None, engine="event"):
         netlist.finalize()
         self.netlist = netlist
         if observed_outputs is None:
@@ -124,13 +141,24 @@ class FaultSimulator:
         if unknown:
             raise FaultSimError("observed nets {} are not outputs"
                                 .format(unknown))
+        if engine not in ENGINES:
+            raise FaultSimError("unknown engine {!r}; expected one of {}"
+                                .format(engine, ENGINES))
         self.observed = list(observed_outputs)
+        self.engine = engine
         self._logic = LogicSimulator(netlist)
         self._cone_cache = {}
-        # Structure-of-arrays view of gates for the hot loop.
+        # Structure-of-arrays view of gates for the cone-walk hot loop.
         self._gate_type = [g.gate_type for g in netlist.gates]
         self._gate_inputs = [g.inputs for g in netlist.gates]
         self._gate_output = [g.output for g in netlist.gates]
+        self._event = EventDrivenEngine(netlist) if engine == "event" else None
+        self._observed_targets = frozenset(self.observed)
+        self._good_cache = (None, None)
+        self._targets_cache = (None, None)
+        self.stats = {"gates_evaluated": 0, "gates_visited": 0,
+                      "gates_skipped": 0, "faults_inactive": 0,
+                      "faults_pruned": 0}
 
     def _cone(self, net):
         cone = self._cone_cache.get(net)
@@ -138,6 +166,25 @@ class FaultSimulator:
             cone = self.netlist.cone_from_net(net)
             self._cone_cache[net] = cone
         return cone
+
+    def _good_as_list(self, good):
+        """Net-indexed list view of a good-machine value dict (memoized on
+        the dict identity — callers reuse one dict across many faults)."""
+        cached_good, cached_list = self._good_cache
+        if cached_good is not good:
+            cached_list = [0] * self.netlist.num_nets
+            for net, value in good.items():
+                cached_list[net] = value
+            self._good_cache = (good, cached_list)
+        return cached_list
+
+    def _targets_for(self, observed_set):
+        """Frozenset view of *observed_set* (memoized on identity)."""
+        cached_set, cached_frozen = self._targets_cache
+        if cached_set is not observed_set:
+            cached_frozen = frozenset(observed_set)
+            self._targets_cache = (observed_set, cached_frozen)
+        return cached_frozen
 
     def run(self, patterns, fault_list=None):
         """Simulate *fault_list* (default: full collapsed list) over
@@ -152,17 +199,73 @@ class FaultSimulator:
         good = self._logic.run(patterns)
         observed_set = set(self.observed)
 
-        detection_words = []
-        first_detection = []
-        for fault in fault_list:
-            word = self._simulate_fault(fault, good, mask, observed_set)
-            detection_words.append(word)
-            if word:
-                first_detection.append((word & -word).bit_length() - 1)
-            else:
-                first_detection.append(None)
+        if self.engine == "event":
+            detection_words = self._run_event(fault_list, good, mask,
+                                              observed_set)
+        else:
+            detection_words = [
+                self._simulate_fault(fault, good, mask, observed_set)
+                for fault in fault_list]
+        first_detection = [(word & -word).bit_length() - 1 if word else None
+                           for word in detection_words]
         return FaultSimResult(fault_list, patterns.count, detection_words,
                               first_detection)
+
+    def _run_event(self, fault_list, good, mask, observed_set):
+        """Event-driven detection words for *fault_list*, grouped by cone
+        head so per-head setup (activation good word, observability reach,
+        static cone size) is computed once per group."""
+        engine = self._event
+        schedule = engine.schedule
+        good_list = self._good_as_list(good)
+        reach = schedule.reach_from(self._observed_targets)
+        stats = self.stats
+        gate_output = schedule.gate_output
+
+        groups = {}
+        for index, fault in enumerate(fault_list):
+            seed = (fault.net if fault.pin == OUTPUT_PIN
+                    else gate_output[fault.gate])
+            entry = groups.get(seed)
+            if entry is None:
+                groups[seed] = [(index, fault)]
+            else:
+                entry.append((index, fault))
+
+        words = [0] * len(fault_list)
+        for seed, members in groups.items():
+            if not reach[seed]:
+                # No observation point in this head's cone: every member
+                # is undetectable, whatever its activation.
+                stats["faults_pruned"] += len(members)
+                stats["gates_skipped"] += (schedule.cone_size(seed)
+                                           * len(members))
+                continue
+            good_seed = good_list[seed]
+            cone = schedule.cone_size(seed)
+            for index, fault in members:
+                if fault.pin == OUTPUT_PIN:
+                    seed_value = mask if fault.stuck_at else 0
+                    if seed_value == good_seed:
+                        stats["faults_inactive"] += 1
+                        continue
+                else:
+                    seed_value = engine.seed_value(fault, good_list, mask)
+                    if seed_value is None:
+                        stats["faults_inactive"] += 1
+                        continue
+                faulty, changed = engine.advance(seed, seed_value,
+                                                 good_list, mask)
+                evaluated = engine.last_evaluated
+                stats["gates_evaluated"] += evaluated
+                stats["gates_visited"] += evaluated
+                stats["gates_skipped"] += cone - evaluated
+                word = 0
+                for net in changed:
+                    if net in observed_set:
+                        word |= faulty[net] ^ good_list[net]
+                words[index] = word
+        return words
 
     def run_signature(self, patterns, fault_list, result_word,
                       thread_sequences, misr_width=None):
@@ -194,6 +297,14 @@ class FaultSimulator:
         good = self._logic.run(patterns)
         observed_set = set(self.observed)
 
+        # The MISR masks every folded result to `width` bits
+        # (``misr_update``): result-bus bits at positions >= width never
+        # enter the signature, so only the first `width` result nets are
+        # folded.  (Folding the full bus let diff bits ``1 << i`` for
+        # ``i >= width`` escape ``word_mask`` on the rotation-0 path and
+        # produced spurious SpT detections.)
+        fold_word = result_word[:width]
+
         # Per-thread rotation-class masks: pattern at position p of an
         # n-long sequence is rotated by (n - 1 - p) mod width in the fold.
         class_masks = {}
@@ -209,23 +320,25 @@ class FaultSimulator:
             class_masks[key] = classes
             thread_masks[key] = total
 
+        if self.engine == "event":
+            targets = self._observed_targets | frozenset(fold_word)
+            effects = [self._fault_effects_event(fault, good, mask,
+                                                 observed_set, fold_word,
+                                                 targets)
+                       for fault in fault_list]
+        else:
+            effects = [self._fault_effects_cone(fault, good, mask,
+                                                observed_set, fold_word)
+                       for fault in fault_list]
+
         word_mask = (1 << width) - 1
         detection_words = []
         first_detection = []
         signature_detected = []
-        for fault in fault_list:
-            changed = self._propagate_fault(fault, good, mask)
-            word = 0
-            for net, value in changed.items():
-                if net in observed_set:
-                    word |= value ^ good[net]
+        for word, diffs in effects:
             detection_words.append(word)
             first_detection.append((word & -word).bit_length() - 1
                                    if word else None)
-
-            diffs = [(i, changed[net] ^ good[net])
-                     for i, net in enumerate(result_word)
-                     if net in changed and changed[net] != good[net]]
             detected = False
             if diffs:
                 union = 0
@@ -259,7 +372,74 @@ class FaultSimulator:
 
     # -- single-fault propagation ------------------------------------------
 
+    def _fault_effects_cone(self, fault, good, mask, observed_set,
+                            fold_word):
+        """(detection word, result-bus diffs) via the cone walk."""
+        changed = self._propagate_fault(fault, good, mask)
+        word = 0
+        for net, value in changed.items():
+            if net in observed_set:
+                word |= value ^ good[net]
+        diffs = [(i, changed[net] ^ good[net])
+                 for i, net in enumerate(fold_word) if net in changed]
+        return word, diffs
+
+    def _fault_effects_event(self, fault, good, mask, observed_set,
+                             fold_word, targets):
+        """(detection word, result-bus diffs) via the event engine."""
+        engine = self._event
+        schedule = engine.schedule
+        good_list = self._good_as_list(good)
+        stats = self.stats
+        seed = schedule.seed_net(fault)
+        if not schedule.reach_from(targets)[seed]:
+            stats["faults_pruned"] += 1
+            stats["gates_skipped"] += schedule.cone_size(seed)
+            return 0, []
+        faulty, changed = engine.propagate(fault, good_list, mask)
+        if changed is None:
+            stats["faults_inactive"] += 1
+            return 0, []
+        evaluated = engine.last_evaluated
+        stats["gates_evaluated"] += evaluated
+        stats["gates_visited"] += evaluated
+        stats["gates_skipped"] += schedule.cone_size(seed) - evaluated
+        word = 0
+        for net in changed:
+            if net in observed_set:
+                word |= faulty[net] ^ good_list[net]
+        diffs = [(i, faulty[net] ^ good_list[net])
+                 for i, net in enumerate(fold_word)
+                 if faulty[net] != good_list[net]]
+        return word, diffs
+
     def _simulate_fault(self, fault, good, mask, observed_set):
+        """Detection word of one fault under *observed_set* (dispatches on
+        the configured engine)."""
+        if self.engine == "event":
+            engine = self._event
+            schedule = engine.schedule
+            good_list = self._good_as_list(good)
+            stats = self.stats
+            seed = schedule.seed_net(fault)
+            targets = self._targets_for(observed_set)
+            if not schedule.reach_from(targets)[seed]:
+                stats["faults_pruned"] += 1
+                stats["gates_skipped"] += schedule.cone_size(seed)
+                return 0
+            faulty, changed = engine.propagate(fault, good_list, mask)
+            if changed is None:
+                stats["faults_inactive"] += 1
+                return 0
+            evaluated = engine.last_evaluated
+            stats["gates_evaluated"] += evaluated
+            stats["gates_visited"] += evaluated
+            stats["gates_skipped"] += schedule.cone_size(seed) - evaluated
+            word = 0
+            for net in changed:
+                if net in observed_set:
+                    word |= faulty[net] ^ good_list[net]
+            return word
         changed = self._propagate_fault(fault, good, mask)
         word = 0
         for net, value in changed.items():
@@ -268,16 +448,19 @@ class FaultSimulator:
         return word
 
     def _propagate_fault(self, fault, good, mask):
-        """Propagate *fault* through its cone; returns {net: faulty_value}
-        for every net whose packed value differs from the good machine."""
+        """Cone-walk propagation: visit every gate of *fault*'s static
+        fanout cone; returns {net: faulty_value} for every net whose packed
+        value differs from the good machine."""
         stuck_word = mask if fault.stuck_at else 0
         changed = {}
+        stats = self.stats
         gate_type = self._gate_type
         gate_inputs = self._gate_inputs
         gate_output = self._gate_output
 
         if fault.pin == OUTPUT_PIN:
             if stuck_word == good[fault.net]:
+                stats["faults_inactive"] += 1
                 return changed
             changed[fault.net] = stuck_word
             cone = self._cone(fault.net)
@@ -290,10 +473,12 @@ class FaultSimulator:
             out = evaluate(gate_type[g], tuple(values), mask)
             out_net = gate_output[g]
             if out == good[out_net]:
+                stats["faults_inactive"] += 1
                 return changed
             changed[out_net] = out
             cone = self._cone(out_net)
 
+        evaluated = 0
         for g in cone:
             ins = gate_inputs[g]
             hit = False
@@ -303,6 +488,7 @@ class FaultSimulator:
                     break
             if not hit:
                 continue
+            evaluated += 1
             values = tuple(changed.get(n, good[n]) for n in ins)
             out = evaluate(gate_type[g], values, mask)
             out_net = gate_output[g]
@@ -310,6 +496,8 @@ class FaultSimulator:
                 changed[out_net] = out
             elif out_net in changed:
                 del changed[out_net]
+        stats["gates_evaluated"] += evaluated
+        stats["gates_visited"] += len(cone)
         return changed
 
 

@@ -15,10 +15,10 @@ descriptions and the commercial gate-level logic simulator:
 
 from .gates import ARITY, CONTROLLING_VALUE, GateType, evaluate, is_inverting
 from .netlist import CONST0, CONST1, Gate, Netlist
-from .simulator import LogicSimulator, PatternSet
+from .simulator import LogicSimulator, PatternSet, iter_set_bits
 
 __all__ = [
     "GateType", "ARITY", "CONTROLLING_VALUE", "evaluate", "is_inverting",
     "Netlist", "Gate", "CONST0", "CONST1",
-    "LogicSimulator", "PatternSet",
+    "LogicSimulator", "PatternSet", "iter_set_bits",
 ]

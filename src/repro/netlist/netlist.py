@@ -52,6 +52,7 @@ class Netlist:
     _finalized: bool = False
     _levelized: list = None
     _fanout: dict = None
+    _level: dict = None  # net -> topological level
 
     # -- construction ---------------------------------------------------------
 
@@ -152,6 +153,7 @@ class Netlist:
             level[gate.output] = glev + 1
             levelized.append(gate)
         self._levelized = levelized
+        self._level = level
 
         fanout = {}
         for gate in self.gates:
@@ -173,6 +175,21 @@ class Netlist:
         if not self._finalized:
             raise NetlistError("finalize() the netlist first")
         return self._fanout.get(net, [])
+
+    def net_level(self, net):
+        """Topological level of *net*: 0 for constants/primary inputs,
+        ``1 + max(input levels)`` for gate outputs (requires
+        :meth:`finalize`).  Undriven (never-read) nets are level 0."""
+        if not self._finalized:
+            raise NetlistError("finalize() the netlist first")
+        return self._level.get(net, 0)
+
+    @property
+    def logic_depth(self):
+        """Maximum gate level of the netlist (requires :meth:`finalize`)."""
+        if not self._finalized:
+            raise NetlistError("finalize() the netlist first")
+        return max(self._level.values(), default=0)
 
     def cone_from_gate(self, gate_index):
         """Gate indices in the transitive fanout of *gate_index*, in
@@ -209,14 +226,7 @@ class Netlist:
         for gate in self.gates:
             by_type[gate.gate_type.name] = by_type.get(gate.gate_type.name,
                                                        0) + 1
-        depth = 0
-        if self._finalized:
-            level = {net: 0 for net in self.inputs}
-            level[CONST0] = level[CONST1] = 0
-            for gate in self._levelized:
-                lev = 1 + max(level.get(n, 0) for n in gate.inputs)
-                level[gate.output] = lev
-                depth = max(depth, lev)
+        depth = self.logic_depth if self._finalized else 0
         return {
             "name": self.name,
             "gates": self.num_gates,

@@ -13,6 +13,20 @@ from .gates import evaluate
 from .netlist import CONST0, CONST1
 
 
+def iter_set_bits(word):
+    """Yield the set-bit indices of *word*, ascending.
+
+    The canonical ``word & -word`` lowest-set-bit walk — every consumer of
+    packed pattern/detection words iterates through this one helper, so
+    pattern indices are derived identically everywhere (the fault layer
+    re-exports it as ``repro.faults.fault_sim.iter_set_bits``).
+    """
+    while word:
+        low = word & -word
+        yield low.bit_length() - 1
+        word ^= low
+
+
 class PatternSet:
     """A set of input assignments for a netlist.
 
@@ -65,17 +79,43 @@ class PatternSet:
         return self.add(assignment)
 
     def value_of(self, net, pattern_index):
-        """Value of input *net* under pattern *pattern_index*."""
+        """Value of input *net* under pattern *pattern_index*.
+
+        Raises:
+            IndexError: *pattern_index* is negative or >= :attr:`count`
+                (a silent 0 here would let stale indices from a reduced
+                PTP masquerade as real all-zero patterns).
+        """
+        if not 0 <= pattern_index < self.count:
+            raise IndexError(
+                "pattern index {} out of range for {} pattern(s)".format(
+                    pattern_index, self.count))
         return (self.packed[net] >> pattern_index) & 1
 
     def subset(self, indices):
-        """New :class:`PatternSet` containing only *indices*, in order."""
+        """New :class:`PatternSet` containing only *indices*, in order.
+
+        Raises:
+            IndexError: any index is negative or >= :attr:`count`.
+        """
+        indices = list(indices)
+        for index in indices:
+            if not 0 <= index < self.count:
+                raise IndexError(
+                    "pattern index {} out of range for {} pattern(s)".format(
+                        index, self.count))
+        # old index -> new bit positions (duplicates allowed), built once so
+        # each net repacks in O(set bits) instead of O(len(indices)).
+        positions = {}
+        for new_index, old_index in enumerate(indices):
+            positions.setdefault(old_index, []).append(new_index)
         out = PatternSet(self.netlist)
+        mask = self.mask
         for net, packed in self.packed.items():
             repacked = 0
-            for new_idx, old_idx in enumerate(indices):
-                if (packed >> old_idx) & 1:
-                    repacked |= 1 << new_idx
+            for old_index in iter_set_bits(packed & mask):
+                for new_index in positions.get(old_index, ()):
+                    repacked |= 1 << new_index
             out.packed[net] = repacked
         out.count = len(indices)
         return out
@@ -120,14 +160,16 @@ class LogicSimulator:
             dict name -> list of integer values, one per pattern.
         """
         values = self.run(patterns)
+        mask = patterns.mask
         results = {}
         for name, word in output_words.items():
-            per_pattern = []
-            for k in range(patterns.count):
-                value = 0
-                for i, net in enumerate(word):
-                    if (values[net] >> k) & 1:
-                        value |= 1 << i
-                per_pattern.append(value)
+            # Transpose packed net words into per-pattern values by walking
+            # each net's set bits once — O(patterns + set bits) instead of
+            # the per-(pattern, bit) probe loop.
+            per_pattern = [0] * patterns.count
+            for i, net in enumerate(word):
+                bit = 1 << i
+                for k in iter_set_bits(values[net] & mask):
+                    per_pattern[k] |= bit
             results[name] = per_pattern
         return results

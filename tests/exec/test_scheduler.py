@@ -109,22 +109,31 @@ def test_pool_failure_falls_back_inline(du_workload, monkeypatch):
 
 # -- dropping carried across PTPs ------------------------------------------
 
-@pytest.mark.parametrize("jobs", [2, 4])
-def test_dropping_across_two_ptps_survives_sharding(du_module, jobs):
-    """IMM then MEM under fault dropping: every per-PTP artifact of the
-    sharded pipeline is bit-identical to the sequential pipeline's."""
-    def run_pipeline(job_count):
-        pipeline = CompactionPipeline(du_module, jobs=job_count)
-        outcomes = [
-            pipeline.compact(generate_imm(seed=7, num_sbs=4),
-                             evaluate=False),
-            pipeline.compact(generate_mem(seed=7, num_sbs=4),
-                             evaluate=False),
-        ]
-        return pipeline, outcomes
+def _run_dropping_pipeline(du_module, job_count, engine):
+    """IMM then MEM under fault dropping; returns (pipeline, outcomes,
+    per-PTP drop-state fingerprint sequence)."""
+    pipeline = CompactionPipeline(du_module, jobs=job_count, engine=engine)
+    outcomes = []
+    fingerprints = []
+    for ptp in (generate_imm(seed=7, num_sbs=4),
+                generate_mem(seed=7, num_sbs=4)):
+        outcomes.append(pipeline.compact(ptp, evaluate=False))
+        fingerprints.append(pipeline.fault_report.fingerprint())
+    return pipeline, outcomes, fingerprints
 
-    seq_pipeline, seq_outcomes = run_pipeline(1)
-    par_pipeline, par_outcomes = run_pipeline(jobs)
+
+@pytest.mark.parametrize("engine", ["event", "cone"])
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_dropping_across_two_ptps_survives_sharding_and_engine(
+        du_module, jobs, engine):
+    """IMM then MEM under fault dropping: every per-PTP artifact of the
+    sharded pipeline — under either propagation engine — is bit-identical
+    to the sequential cone-walk pipeline's, including the fingerprint of
+    the drop state after every PTP."""
+    seq_pipeline, seq_outcomes, seq_fps = _run_dropping_pipeline(
+        du_module, 1, "cone")
+    par_pipeline, par_outcomes, par_fps = _run_dropping_pipeline(
+        du_module, jobs, engine)
 
     for seq, par in zip(seq_outcomes, par_outcomes):
         # Stage-3 results merge bit-identically...
@@ -138,7 +147,7 @@ def test_dropping_across_two_ptps_survives_sharding(du_module, jobs):
             seq.fault_result.fault_list)
         assert par.newly_dropped_faults == seq.newly_dropped_faults
         assert list(par.compacted.program) == list(seq.compacted.program)
-    assert (par_pipeline.fault_report.fingerprint()
-            == seq_pipeline.fault_report.fingerprint())
+    # The drop state agreed after EVERY PTP, not just at the end.
+    assert par_fps == seq_fps
     assert (par_pipeline.fault_report.remaining_faults
             == seq_pipeline.fault_report.remaining_faults)

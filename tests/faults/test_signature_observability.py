@@ -99,6 +99,82 @@ def test_engineered_aliasing_case():
     assert signature_detected[0] is False
 
 
+def test_truncated_misr_ignores_result_bits_beyond_width():
+    """Result-bus bits at positions >= misr_width never enter the MISR
+    (``misr_update`` masks every folded value), so a fault whose only
+    effect lands on such a bit must be sig-undetected.
+
+    Regression: the fold used to build diff words over the full result
+    bus, and a diff bit ``1 << i`` with ``i >= width`` escaped
+    ``word_mask`` on the rotation-0 path — exactly this fault was
+    spuriously reported as signature-detected.
+    """
+    width = 4
+    nl, a, out = _identity_module(width)
+    patterns = PatternSet(nl)
+    # Single excitation at the LAST sequence position (rotation 0).
+    patterns.add_words([(a, 0b0000)])
+    patterns.add_words([(a, 0b1000)])
+    sequences = {(0, 0): [0, 1]}
+    from repro.faults import OUTPUT_PIN, StuckAtFault
+
+    fault = StuckAtFault(a[3], None, OUTPUT_PIN, 0)  # flips bit 3 only
+    for engine in ("event", "cone"):
+        simulator = FaultSimulator(nl, engine=engine)
+        result, signature_detected = simulator.run_signature(
+            patterns, FaultList(nl, [fault]), out, sequences, misr_width=2)
+        # Module outputs see the flip; the 2-bit signature cannot.
+        assert result.detection_words == [0b10], engine
+        assert signature_detected == [False], engine
+    # Same fault on a bit the truncated MISR does cover is detected.
+    low_fault = StuckAtFault(a[0], None, OUTPUT_PIN, 1)
+    __, detected = FaultSimulator(nl).run_signature(
+        patterns, FaultList(nl, [low_fault]), out, sequences, misr_width=2)
+    assert detected == [True]
+
+
+def test_truncated_misr_matches_brute_force_on_both_engines():
+    """misr_width = len(result_word) - 1 cross-check: the fold must agree
+    with explicitly re-folding good and corrupted result sequences through
+    the software MISR at the truncated width."""
+    width = 4
+    misr_width = width - 1
+    nl, a, out = _identity_module(width)
+    rng = random.Random(21)
+    patterns = PatternSet(nl)
+    count = 24
+    for __ in range(count):
+        patterns.add_words([(a, rng.getrandbits(width))])
+    sequences = {(0, t): [k for k in range(count) if k % 2 == t]
+                 for t in range(2)}
+    fault_list = FaultList(nl)
+    good = LogicSimulator(nl).run(patterns)
+    reference = FaultSimulator(nl, engine="cone")
+    for engine in ("event", "cone"):
+        simulator = FaultSimulator(nl, engine=engine)
+        __, signature_detected = simulator.run_signature(
+            patterns, fault_list, out, sequences, misr_width=misr_width)
+        for fault, sig_hit in zip(fault_list, signature_detected):
+            changed = reference._propagate_fault(fault, good, patterns.mask)
+            expected = False
+            for seq in sequences.values():
+                good_values = []
+                bad_values = []
+                for k in seq:
+                    value = 0
+                    bad = 0
+                    for i, net in enumerate(out):
+                        value |= ((good[net] >> k) & 1) << i
+                        bad |= ((changed.get(net, good[net]) >> k) & 1) << i
+                    good_values.append(value)
+                    bad_values.append(bad)
+                if misr_fold(good_values, misr_width) != misr_fold(
+                        bad_values, misr_width):
+                    expected = True
+                    break
+            assert sig_hit == expected, (engine, fault.describe(nl))
+
+
 def test_unexcited_fault_is_sig_undetected():
     width = 4
     nl, a, out = _identity_module(width)

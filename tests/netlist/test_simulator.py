@@ -104,6 +104,75 @@ def test_cross_netlist_pattern_rejected():
         LogicSimulator(nl2).run(patterns)
 
 
+def test_value_of_rejects_out_of_range_indices():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    patterns.add({a: 1})
+    patterns.add({a: 0, b: 1})
+    with pytest.raises(IndexError):
+        patterns.value_of(a, 2)
+    with pytest.raises(IndexError):
+        patterns.value_of(a, -1)
+    with pytest.raises(IndexError):
+        PatternSet(nl).value_of(a, 0)  # empty set has no pattern 0
+
+
+def test_subset_rejects_out_of_range_indices():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    patterns.add({a: 1})
+    with pytest.raises(IndexError):
+        patterns.subset([0, 1])
+    with pytest.raises(IndexError):
+        patterns.subset([-1])
+
+
+@given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
+                max_size=24),
+       st.data())
+@settings(max_examples=40, deadline=None)
+def test_subset_repacking_matches_per_bit_reference(cases, data):
+    """The linear shift/mask repack equals the naive per-(index, net)
+    probe loop, including duplicated and reordered indices."""
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    for av, bv in cases:
+        patterns.add({a: int(av), b: int(bv)})
+    indices = data.draw(st.lists(
+        st.integers(0, patterns.count - 1), min_size=0, max_size=30))
+    sub = patterns.subset(indices)
+    assert sub.count == len(indices)
+    for net in nl.inputs:
+        expected = 0
+        for new_index, old_index in enumerate(indices):
+            if (patterns.packed[net] >> old_index) & 1:
+                expected |= 1 << new_index
+        assert sub.packed[net] == expected
+
+
+@given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
+                max_size=24))
+@settings(max_examples=40, deadline=None)
+def test_run_words_matches_per_bit_reference(cases):
+    """The set-bit transposition equals probing every (pattern, bit)."""
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    for av, bv in cases:
+        patterns.add({a: int(av), b: int(bv)})
+    sim = LogicSimulator(nl)
+    words = {"out": [out], "echo": [a, b]}
+    results = sim.run_words(patterns, words)
+    values = sim.run(patterns)
+    for name, word in words.items():
+        expected = []
+        for k in range(patterns.count):
+            value = 0
+            for i, net in enumerate(word):
+                value |= ((values[net] >> k) & 1) << i
+            expected.append(value)
+        assert results[name] == expected
+
+
 @given(st.lists(st.tuples(st.booleans(), st.booleans(), st.booleans()),
                 min_size=1, max_size=70))
 @settings(max_examples=30, deadline=None)
