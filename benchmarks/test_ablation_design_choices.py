@@ -24,7 +24,6 @@ from repro.core.labeling import ESSENTIAL
 from repro.core.reduction import segment_small_blocks
 from repro.faults.fault_sim import FaultSimulator
 from repro.isa.instruction import Program
-from repro.isa.opcodes import Fmt, Unit, info
 from repro.stl import generate_imm, generate_sfu_imm
 
 

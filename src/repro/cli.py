@@ -7,6 +7,7 @@ the GPU's STLs."  This module is that tool's front end::
 
     python -m repro info      --module decoder_unit
     python -m repro generate  --ptp IMM --seed 0 --sbs 60 --out ptp_imm/
+    python -m repro lint      --ptp-dir ptp_imm/ --json
     python -m repro compact   --ptp-dir ptp_imm/ --out compacted/ --reports
     python -m repro campaign  --stl-dir stl/ --out compacted/ --resume \
                               --max-fc-drop 0.5 --ptp-timeout 300
@@ -19,6 +20,7 @@ pattern report, fault-sim report, labeled program), as in the paper.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -31,10 +33,11 @@ from .core.reports import (write_campaign_summary, write_compaction_summary,
                            write_fault_sim_report, write_labeled_ptp)
 from .core.patterns import write_pattern_report
 from .errors import ReproError
-from .exec import ArtifactCache, RunMetrics, default_cache_dir, resolve_jobs
+from .exec import ArtifactCache, RunMetrics, resolve_jobs
 from .gpu.trace import write_trace_report
 from .netlist.modules import build_decoder_unit, build_sfu, build_sp_core
 from .stl.io import load_ptp, load_stl, save_ptp, save_stl
+from .verify import verify_ptp
 
 _MODULE_BUILDERS = {
     "decoder_unit": lambda width: build_decoder_unit(),
@@ -112,16 +115,42 @@ def _finish_metrics(metrics, cache, path):
     print(metrics.summary_table())
 
 
+def cmd_lint(args):
+    """Statically verify saved PTPs; exit 1 on error diagnostics."""
+    if args.ptp_dir:
+        ptps = [load_ptp(args.ptp_dir)]
+    else:
+        ptps = list(load_stl(args.stl_dir))
+    reports = [verify_ptp(ptp) for ptp in ptps]
+    errors = sum(len(report.errors) for report in reports)
+    warnings = sum(len(report.warnings) for report in reports)
+    if args.json:
+        print(json.dumps({
+            "ptps": [report.to_dict() for report in reports],
+            "errors": errors,
+            "warnings": warnings,
+        }, indent=1, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.render_text())
+        print("lint: {} PTP(s), {} error(s), {} warning(s)".format(
+            len(reports), errors, warnings))
+    return 1 if errors else 0
+
+
 def cmd_compact(args):
     ptp = load_ptp(args.ptp_dir)
     module = _build_module(ptp.target, args.width)
     jobs, cache, metrics = _exec_options(args)
     pipeline = CompactionPipeline(module, jobs=jobs, cache=cache,
-                                  metrics=metrics, engine=args.engine)
+                                  metrics=metrics, engine=args.engine,
+                                  verify=args.verify)
     outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
                                evaluate=not args.no_evaluate)
     save_ptp(outcome.compacted, args.out)
     print(write_compaction_summary(outcome))
+    if outcome.verification is not None and outcome.verification.diagnostics:
+        print(outcome.verification.render_text())
     _finish_metrics(metrics, cache, args.metrics_out)
     if args.reports:
         reports_dir = os.path.join(args.out, "reports")
@@ -165,6 +194,7 @@ def cmd_campaign(args):
         cache=cache,
         metrics=metrics,
         engine=args.engine,
+        verify=args.verify,
     )
     for report in reports:
         print(write_campaign_summary(report))
@@ -232,6 +262,12 @@ def _add_exec_arguments(parser):
                        help="fault-propagation engine (default: event; "
                             "results are bit-identical, the cone walk is "
                             "the slower reference)")
+    group.add_argument("--verify", choices=("strict", "warn", "off"),
+                       default="warn",
+                       help="static verification of the reduced PTP "
+                            "before stage 5 (default: warn; strict "
+                            "aborts the compaction on error-severity "
+                            "diagnostics, off skips the gate)")
 
 
 def build_parser():
@@ -254,6 +290,18 @@ def build_parser():
                        help="number of Small Blocks")
     p_gen.add_argument("--out", required=True)
     p_gen.set_defaults(func=cmd_generate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically verify saved PTPs (exit 1 on error-severity "
+             "diagnostics, 0 otherwise)")
+    what = p_lint.add_mutually_exclusive_group(required=True)
+    what.add_argument("--ptp-dir", help="one saved PTP directory")
+    what.add_argument("--stl-dir", help="an STL directory (every PTP)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit machine-readable diagnostics instead "
+                             "of the text listing")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_compact = sub.add_parser("compact",
                                help="compact a saved PTP directory")

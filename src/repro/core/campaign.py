@@ -151,7 +151,7 @@ class CampaignReport:
 
 
 def _outcome_numbers(outcome):
-    return {
+    numbers = {
         "original_size": outcome.original_size,
         "compacted_size": outcome.compacted_size,
         "original_cycles": outcome.original_cycles,
@@ -162,6 +162,10 @@ def _outcome_numbers(outcome):
         "compaction_seconds": outcome.compaction_seconds,
         "newly_dropped_faults": outcome.newly_dropped_faults,
     }
+    if outcome.verification is not None:
+        numbers["verify_errors"] = len(outcome.verification.errors)
+        numbers["verify_warnings"] = len(outcome.verification.warnings)
+    return numbers
 
 
 class CompactionCampaign:
@@ -246,11 +250,17 @@ class CompactionCampaign:
                 ptp, reverse_patterns=reverse_patterns, evaluate=evaluate,
                 stage_hook=self.watchdog)
         except ReproError as exc:
+            context = {"module": self.module_name,
+                       "ptp_timeout": self.watchdog.timeout,
+                       "max_trace_cycles": self.watchdog.max_trace_cycles}
+            # A strict verification failure carries its report; persist
+            # the diagnostics so the checkpoint explains the rejection.
+            report = getattr(exc, "report", None)
+            if report is not None:
+                context["diagnostics"] = [d.to_dict()
+                                          for d in report.diagnostics]
             failure = PtpFailure.from_exception(
-                ptp.name, exc, stage=self.watchdog.stage,
-                context={"module": self.module_name,
-                         "ptp_timeout": self.watchdog.timeout,
-                         "max_trace_cycles": self.watchdog.max_trace_cycles})
+                ptp.name, exc, stage=self.watchdog.stage, context=context)
             return PtpRecord(name=ptp.name, status=FAILED, failure=failure)
 
         numbers = _outcome_numbers(outcome)
@@ -274,11 +284,21 @@ class CompactionCampaign:
         cache_keys = (dict(record.outcome.cache_keys)
                       if record.outcome is not None else {})
         cache_keys["fault_state"] = self.pipeline.fault_report.fingerprint()
+        diagnostics = None
+        if (record.outcome is not None
+                and record.outcome.verification is not None):
+            diagnostics = [d.to_dict() for d
+                           in record.outcome.verification.diagnostics]
+        elif record.failure is not None:
+            # A strict-gate rejection has no outcome; its findings
+            # travel in the failure context instead.
+            diagnostics = record.failure.context.get("diagnostics")
         self.checkpoint.record_ptp(record.name, record.status,
                                    numbers=record.numbers,
                                    failure=record.failure,
                                    compacted=compacted,
-                                   cache_keys=cache_keys)
+                                   cache_keys=cache_keys,
+                                   diagnostics=diagnostics)
         self.checkpoint.record_module_state(
             self.module_name, self.pipeline.fault_report.state_dict())
         self.checkpoint.save()
@@ -329,7 +349,8 @@ class CompactionCampaign:
 
 def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
                      reverse_for=("SFU_IMM",), evaluate=True, jobs=None,
-                     cache=None, metrics=None, engine="event", **kwargs):
+                     cache=None, metrics=None, engine="event",
+                     verify="warn", **kwargs):
     """Run one campaign per target module of *stl*, sharing a checkpoint.
 
     Modules are processed in order of first appearance in the STL, each
@@ -352,6 +373,10 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
             the whole multi-module campaign.
         engine: fault-propagation engine for every per-module pipeline
             (``"event"``/``"cone"``; bit-identical results).
+        verify: static-verification mode for every per-module pipeline
+            (``"strict"``/``"warn"``/``"off"``); a strict failure is
+            isolated like any other per-PTP error and the diagnostics
+            land in the checkpoint.
         **kwargs: forwarded to every :class:`CompactionCampaign`.
 
     Returns:
@@ -369,7 +394,8 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
     for target in targets:
         campaign = CompactionCampaign(
             CompactionPipeline(modules[target], gpu=gpu, jobs=jobs,
-                               cache=cache, metrics=metrics, engine=engine),
+                               cache=cache, metrics=metrics, engine=engine,
+                               verify=verify),
             checkpoint=checkpoint, **kwargs)
         reports.append(campaign.run(stl, reverse_for=reverse_for,
                                     evaluate=evaluate, resume=resume))

@@ -40,7 +40,7 @@ class CampaignCheckpoint:
           "version": 1,
           "ptps": {name: {"status": ..., "failure": {...} | null,
                           "numbers": {...}, "compacted": {...} | null,
-                          "cache_keys": {...}}},
+                          "cache_keys": {...}, "diagnostics": [...]}},
           "order": [names in completion order],
           "modules": {module_name: <FaultListReport.state_dict()>}
         }
@@ -68,7 +68,7 @@ class CampaignCheckpoint:
         return self.ptps.get(name)
 
     def record_ptp(self, name, status, numbers=None, failure=None,
-                   compacted=None, cache_keys=None):
+                   compacted=None, cache_keys=None, diagnostics=None):
         """Record one PTP's final campaign outcome.
 
         Args:
@@ -79,6 +79,9 @@ class CampaignCheckpoint:
             compacted: the compacted PTP (status ``"compacted"`` only).
             cache_keys: optional artifact-name -> content-key dict from
                 :attr:`~repro.core.pipeline.CompactionOutcome.cache_keys`.
+            diagnostics: optional list of static-verifier diagnostic
+                dicts (:meth:`repro.verify.Diagnostic.to_dict`) — the
+                pipeline's verification gate findings for this PTP.
         """
         from ..stl.io import ptp_to_dict
 
@@ -89,10 +92,19 @@ class CampaignCheckpoint:
             "compacted": (ptp_to_dict(compacted)
                           if compacted is not None else None),
             "cache_keys": dict(cache_keys or {}),
+            "diagnostics": list(diagnostics or []),
         }
         if name not in self.ptps:
             self.order.append(name)
         self.ptps[name] = entry
+
+    def ptp_diagnostics(self, name):
+        """Static-verifier diagnostic dicts recorded for *name* ([] when
+        absent — including checkpoints written before the verifier)."""
+        entry = self.ptps.get(name)
+        if entry is None:
+            return []
+        return list(entry.get("diagnostics") or [])
 
     def ptp_cache_keys(self, name):
         """Artifact cache keys recorded for *name* ({} when absent —

@@ -22,7 +22,7 @@ import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
-from ..errors import CompactionError
+from ..errors import CompactionError, VerificationError
 from ..exec.cache import cached_logic_tracing
 from ..exec.scheduler import ShardedFaultScheduler
 from ..faults.dropping import FaultListReport
@@ -36,8 +36,14 @@ from .reduction import reduce_ptp
 
 #: Pipeline stage names, in execution order.  ``stage_hook`` callbacks and
 #: :class:`~repro.errors.PtpFailure.stage` use these exact strings.
+#: ``verify`` is the static-verification gate between reduction and the
+#: stage-5 evaluation (skipped when the pipeline runs with
+#: ``verify="off"``).
 STAGES = ("partition", "tracing", "fault_simulation", "reduction",
-          "evaluation")
+          "verify", "evaluation")
+
+#: Accepted values of the pipeline's ``verify`` mode.
+VERIFY_MODES = ("strict", "warn", "off")
 
 
 @dataclass
@@ -54,6 +60,9 @@ class CompactionOutcome:
     reduction: object = None
     tracing: object = None
     fault_result: object = None
+    #: the static verifier's :class:`~repro.verify.VerificationReport`
+    #: over the (original, compacted) pair (None with ``verify="off"``).
+    verification: object = None
 
     original_size: int = 0
     compacted_size: int = 0
@@ -116,10 +125,22 @@ class CompactionPipeline:
         engine: stage-3/5 fault-propagation engine, ``"event"`` (default)
             or ``"cone"`` — bit-identical results either way (see
             :mod:`repro.faults.propagate`).
+        verify: static-verification gate on the reduced PTP, run between
+            stage 4 and stage 5 (:func:`repro.verify.verify_compaction`):
+            ``"warn"`` (default) records the diagnostics on the outcome,
+            ``"strict"`` additionally raises
+            :class:`~repro.errors.VerificationError` on error-severity
+            diagnostics *before* the fault report is mutated, ``"off"``
+            skips verification entirely.
     """
 
     def __init__(self, module, gpu=None, collapse=True, jobs=None,
-                 cache=None, metrics=None, engine="event"):
+                 cache=None, metrics=None, engine="event", verify="warn"):
+        if verify not in VERIFY_MODES:
+            raise CompactionError(
+                "verify must be one of {}, got {!r}".format(
+                    "/".join(VERIFY_MODES), verify))
+        self.verify = verify
         self.module = module
         self.gpu = gpu or Gpu()
         self.fault_report = FaultListReport(module.netlist,
@@ -160,10 +181,11 @@ class CompactionPipeline:
                 each stage of :data:`STAGES`; after tracing completes the
                 ``fault_simulation`` call carries ``cycles=<kernel ccs>``.
                 Campaign watchdogs hook in here; an exception raised from
-                a stage-1..4 hook aborts the compaction before the fault
-                report is mutated (drops land between reduction and
-                evaluation, and detected faults stay covered by the
-                original PTP either way).
+                a stage-1..4 or verify hook aborts the compaction before
+                the fault report is mutated (drops land between the
+                verification gate and evaluation, and detected faults
+                stay covered by the original PTP either way).  A strict
+                verification failure aborts at the same point.
         """
         if ptp.target != self.module.name:
             raise CompactionError("PTP {!r} targets {!r}, pipeline is for "
@@ -207,6 +229,35 @@ class CompactionPipeline:
             reduction = reduce_ptp(labeled, partition)
         compaction_seconds = time.perf_counter() - started
 
+        # Static verification gate: prove the reduced PTP structurally
+        # sound and the stage-4 invariants intact BEFORE the fault report
+        # is mutated — a strict failure aborts with no side effects, like
+        # a stage-1..4 hook exception.
+        verification = None
+        if self.verify != "off":
+            hook("verify")
+            with self._timed("verify"):
+                # Imported lazily: repro.verify pulls in repro.core
+                # submodules at import time, so a module-level import
+                # here would be circular on first import of the verify
+                # package.
+                from ..verify import verify_compaction
+
+                verification = verify_compaction(
+                    ptp, reduction.compacted, pc_map=reduction.pc_map,
+                    partition=partition)
+            if self.metrics is not None:
+                self.metrics.record_verification(
+                    len(verification.errors), len(verification.warnings))
+            if self.verify == "strict" and not verification.ok:
+                first = verification.errors[0]
+                raise VerificationError(
+                    "compacted PTP {!r} failed static verification with "
+                    "{} error(s), e.g. {}".format(
+                        reduction.compacted.name,
+                        len(verification.errors), first.render()),
+                    report=verification)
+
         if dropping:
             dropped = self.fault_report.drop(fault_result.detected_faults,
                                              ptp.name)
@@ -216,7 +267,7 @@ class CompactionPipeline:
         outcome = CompactionOutcome(
             ptp=ptp, compacted=reduction.compacted, partition=partition,
             labeled=labeled, reduction=reduction, tracing=tracing,
-            fault_result=fault_result,
+            fault_result=fault_result, verification=verification,
             original_size=ptp.size,
             compacted_size=reduction.compacted.size,
             original_cycles=tracing.cycles,

@@ -60,6 +60,23 @@ class CompactionError(ReproError):
     """The compaction pipeline was driven with inconsistent inputs."""
 
 
+class VerificationError(CompactionError):
+    """The static PTP verifier found error-severity diagnostics while the
+    pipeline ran in strict mode.
+
+    Attributes:
+        report: the :class:`~repro.verify.VerificationReport` (None when
+            raised without one).
+        stage: always ``"verify"`` — lets campaign failure records place
+            the abort at the verification stage boundary.
+    """
+
+    def __init__(self, message, report=None):
+        super().__init__(message)
+        self.report = report
+        self.stage = "verify"
+
+
 class ReportError(ReproError):
     """A report file could not be parsed or round-tripped."""
 

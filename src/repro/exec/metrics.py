@@ -120,6 +120,12 @@ class RunMetrics:
         """Increment a free-form named counter."""
         self.counters[counter] = self.counters.get(counter, 0) + amount
 
+    def record_verification(self, errors, warnings):
+        """Count one static-verifier run and its diagnostic totals."""
+        self.bump("verify.runs")
+        self.bump("verify.errors", errors)
+        self.bump("verify.warnings", warnings)
+
     # -- aggregates ------------------------------------------------------
 
     @property
@@ -232,6 +238,11 @@ class RunMetrics:
             else "{:.0%}".format(utilization)))
         lines.append("  gates eval/skip   : {} / {}".format(
             self.total_gates_evaluated, self.total_gates_skipped))
+        lines.append("  verify            : {} run(s), {} error(s), "
+                     "{} warning(s)".format(
+                         self.counters.get("verify.runs", 0),
+                         self.counters.get("verify.errors", 0),
+                         self.counters.get("verify.warnings", 0)))
         lines.append("  cache             : {} hit(s), {} miss(es), "
                      "{} put(s), {} eviction(s)".format(
                          self.cache.get("hits", 0),

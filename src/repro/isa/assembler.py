@@ -148,6 +148,15 @@ def assemble(source):
                     raise AssemblyError(
                         "undefined label {!r}".format(target_text),
                         item.lineno)
+            # An out-of-range target would escape assembly only to crash
+            # later in CFG construction (find_leaders indexes by target)
+            # or tracing; reject it here with the source location.  This
+            # also catches labels placed after the last instruction.
+            if not 0 <= target < len(items):
+                raise AssemblyError(
+                    "branch target {} is outside the program "
+                    "(valid range 0..{})".format(target, len(items) - 1),
+                    item.lineno)
             instructions.append(Instruction(target=target, **item.kwargs))
         else:
             instructions.append(item)

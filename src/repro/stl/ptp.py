@@ -47,6 +47,29 @@ class ParallelTestProgram:
     sb_hints: list = field(default_factory=list)
     uses_signature: bool = False
 
+    def __post_init__(self):
+        size = len(self.program)
+        previous_end = 0
+        for hint in self.sb_hints:
+            try:
+                start, end = hint
+            except (TypeError, ValueError):
+                raise CompactionError(
+                    "PTP {!r}: sb_hint {!r} is not a (start, end) pair"
+                    .format(self.name, hint))
+            if not (isinstance(start, int) and isinstance(end, int)) \
+                    or not 0 <= start < end <= size:
+                raise CompactionError(
+                    "PTP {!r}: sb_hint ({!r}, {!r}) must satisfy "
+                    "0 <= start < end <= {} (the program size)".format(
+                        self.name, start, end, size))
+            if start < previous_end:
+                raise CompactionError(
+                    "PTP {!r}: sb_hints must be ordered and "
+                    "non-overlapping, but ({}, {}) starts before pc {}"
+                    .format(self.name, start, end, previous_end))
+            previous_end = end
+
     @property
     def size(self):
         """Static size in instructions (the paper's Table I 'Size')."""

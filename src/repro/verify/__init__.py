@@ -1,0 +1,32 @@
+"""Static PTP verifier: a rule-based lint over ParallelTestPrograms.
+
+Five composable passes prove (or flag) what a PTP's structure promises
+before any simulation is spent on it:
+
+* :mod:`~repro.verify.cfg_rules` — CFG well-formedness (CFG001..007);
+* :mod:`~repro.verify.dataflow` — def-use register/predicate dataflow
+  (DF001..003);
+* :mod:`~repro.verify.memory` — memory-image consistency (MEM001..003);
+* :mod:`~repro.verify.observability` — observability reachability
+  (OBS001..003);
+* :mod:`~repro.verify.diffcheck` — compaction-safety invariants over
+  (original, compacted) pairs (CMP001..007).
+
+Entry points: :func:`verify_ptp`, :func:`verify_compaction`, and the
+``repro lint`` CLI subcommand.  The compaction pipeline runs
+:func:`verify_compaction` on every reduced PTP before stage 5
+(``verify="strict"/"warn"/"off"``).  See DESIGN.md §10 for the rule
+catalog.
+"""
+
+from .diagnostics import (ERROR, RULES, WARNING, Diagnostic,
+                          VerificationReport)
+from .diffcheck import check_compaction
+from .verifier import (DEFAULT_PASSES, PtpVerifier, VerifyContext,
+                       build_context, verify_compaction, verify_ptp)
+
+__all__ = [
+    "Diagnostic", "VerificationReport", "RULES", "ERROR", "WARNING",
+    "PtpVerifier", "VerifyContext", "build_context", "DEFAULT_PASSES",
+    "verify_ptp", "verify_compaction", "check_compaction",
+]

@@ -1,0 +1,136 @@
+"""CFG well-formedness pass (rules CFG001..CFG007).
+
+Reuses :mod:`repro.core.cfg` for block structure and reachability.  The
+target-range check (CFG001) runs *before* any CFG is built: an
+out-of-range target would crash :func:`~repro.core.cfg.build_cfg` (its
+``block_of_pc`` table is indexed by target pc), so the verifier only
+builds the CFG — and only runs the CFG-dependent rules — when every
+control-flow target is in range.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..isa.opcodes import Fmt, Op, info
+from .diagnostics import Diagnostic
+
+#: Opcodes with a control-flow target (set lookup beats an info() call
+#: in the per-instruction scans).
+BRANCH_OPS = frozenset(op for op in Op if info(op).fmt is Fmt.BRANCH)
+
+
+def out_of_range_targets(instructions):
+    """``(pc, instruction)`` pairs whose branch target leaves the program."""
+    size = len(instructions)
+    return [(pc, instr) for pc, instr in enumerate(instructions)
+            if instr.op in BRANCH_OPS
+            and not 0 <= instr.target < size]
+
+
+def reachable_blocks(cfg):
+    """Block indices reachable from the entry block (BFS)."""
+    if not cfg.blocks:
+        return set()
+    seen = {0}
+    queue = deque([0])
+    while queue:
+        block = queue.popleft()
+        for succ in cfg.blocks[block].successors:
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+#: Last-instruction opcodes that cannot fall through past the program end.
+_TERMINATORS = (Op.EXIT, Op.RET)
+
+
+def check_cfg(ctx):
+    """Run the CFG well-formedness rules over a :class:`VerifyContext`."""
+    instructions = ctx.instructions
+    diagnostics = []
+
+    for pc, instr in out_of_range_targets(instructions):
+        diagnostics.append(Diagnostic.of(
+            "CFG001",
+            "{} targets pc {}, but the program has {} instruction(s)"
+            .format(instr.op.value, instr.target, len(instructions)),
+            pc=pc))
+
+    if not instructions:
+        diagnostics.append(Diagnostic.of(
+            "CFG003", "the program is empty (no EXIT to reach)"))
+        return diagnostics
+    if ctx.cfg is None:
+        # CFG001 fired; block-level rules need a buildable CFG.
+        return diagnostics
+    cfg, reachable = ctx.cfg, ctx.reachable
+
+    # CFG002 — a reachable block ending at the program boundary whose last
+    # instruction can fall through would run off the end.
+    for block in cfg.blocks:
+        if block.index not in reachable or block.size == 0:
+            continue
+        if block.end != len(instructions):
+            continue
+        last = instructions[block.end - 1]
+        falls = not (last.op in _TERMINATORS
+                     or (last.op is Op.BRA and last.pred is None))
+        if falls:
+            diagnostics.append(Diagnostic.of(
+                "CFG002",
+                "last instruction {} can fall through past the end of "
+                "the program".format(last.op.value),
+                pc=block.end - 1, block=block.index))
+
+    # CFG003 — some reachable path must terminate in EXIT.
+    has_exit = any(
+        instructions[pc].op is Op.EXIT
+        for index in reachable
+        for pc in range(cfg.blocks[index].start, cfg.blocks[index].end))
+    if not has_exit:
+        diagnostics.append(Diagnostic.of(
+            "CFG003", "no EXIT instruction is reachable from pc 0"))
+
+    # CFG004 — unreachable blocks (dead code the reduction cannot see).
+    for block in cfg.blocks:
+        if block.size and block.index not in reachable:
+            diagnostics.append(Diagnostic.of(
+                "CFG004",
+                "basic block BB{} (pc {}..{}) is unreachable".format(
+                    block.index, block.start, block.end - 1),
+                pc=block.start, block=block.index))
+
+    # CFG005 / CFG006 — SSY reconvergence pairing.
+    ssy_targets = set()
+    for pc, instr in enumerate(instructions):
+        if instr.op is Op.SSY:
+            ssy_targets.add(instr.target)
+            if instructions[instr.target].op is not Op.JOIN:
+                diagnostics.append(Diagnostic.of(
+                    "CFG005",
+                    "SSY targets pc {} which holds {}, not the expected "
+                    "JOIN reconvergence point".format(
+                        instr.target, instructions[instr.target].op.value),
+                    pc=pc))
+    for pc, instr in enumerate(instructions):
+        if instr.op is Op.JOIN and pc not in ssy_targets:
+            diagnostics.append(Diagnostic.of(
+                "CFG006",
+                "JOIN at pc {} is not named by any SSY (divergence "
+                "bookkeeping cannot reconverge here)".format(pc),
+                pc=pc))
+
+    # CFG007 — a RET with no CAL anywhere returns to a stale (or empty)
+    # call stack.
+    if not any(instr.op is Op.CAL for instr in instructions):
+        for pc, instr in enumerate(instructions):
+            if instr.op is Op.RET:
+                diagnostics.append(Diagnostic.of(
+                    "CFG007",
+                    "RET at pc {} but the program contains no CAL".format(
+                        pc),
+                    pc=pc))
+    return diagnostics

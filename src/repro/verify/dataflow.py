@@ -1,0 +1,212 @@
+"""Def-use dataflow pass (rules DF001..DF003).
+
+Two standard bit-vector analyses over the CFG, one forward and one
+backward, with registers packed into a single Python int (64 GPR bits,
+4 predicate bits) so the fixpoints cost microseconds per PTP:
+
+* **maybe-defined** (forward, may-analysis): a register read with no
+  reaching definition on *any* path fires DF001.  ``TID_REG`` and
+  ``SIG_REG`` are pre-defined at entry — the GPU model's S2R prologue
+  and signature conventions make them live-in.  GPRs are zero-initialized
+  at launch, so DF001 is a warning, not an error: the read is
+  architecturally defined, just suspicious.
+* **liveness** (backward, may-analysis): a write whose value no path
+  ever reads fires DF002.  ``SIG_REG`` is live-out at every program
+  exit (the signature is the PTP's observable), so the final MISR fold
+  is never flagged.  A *guarded* write does not kill liveness — when the
+  guard is false the old value survives the instruction.
+
+DF003 refines DF001 for predicates: predicates launch as False, and the
+IMM generator deliberately guards decode-only instructions with a
+never-written predicate, so a read of a never-written predicate is
+silent; a read *before the first ISETP* of a predicate that IS written
+elsewhere is the actual smell and fires DF003.
+"""
+
+from __future__ import annotations
+
+from ..stl.builder import TID_REG
+from ..stl.signature import SIG_REG
+from .diagnostics import Diagnostic
+
+
+def _mask(indices):
+    bits = 0
+    for index in indices:
+        bits |= 1 << index
+    return bits
+
+
+def _instruction_masks(instructions):
+    """Per-pc (reads, writes, pred_reads, pred_writes, guarded) tuples."""
+    masks = []
+    for instr in instructions:
+        masks.append((_mask(instr.regs_read()),
+                      _mask(instr.regs_written()),
+                      _mask(instr.preds_read()),
+                      _mask(instr.preds_written()),
+                      instr.pred is not None))
+    return masks
+
+
+def _block_order(ctx):
+    """Reachable, non-empty blocks in program order."""
+    return [block for block in ctx.cfg.blocks
+            if block.index in ctx.reachable and block.size]
+
+
+def _forward_defined(ctx, masks):
+    """Per-block maybe-defined masks on entry: {index: (regs, preds)}."""
+    cfg = ctx.cfg
+    order = _block_order(ctx)
+    entry_regs = (1 << TID_REG) | (1 << SIG_REG)
+
+    gen = {}
+    for block in order:
+        regs = preds = 0
+        for pc in range(block.start, block.end):
+            regs |= masks[pc][1]
+            preds |= masks[pc][3]
+        gen[block.index] = (regs, preds)
+
+    out_regs = {block.index: 0 for block in order}
+    out_preds = {block.index: 0 for block in order}
+    in_regs = dict(out_regs)
+    in_preds = dict(out_preds)
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            regs = entry_regs if block.index == 0 else 0
+            preds = 0
+            for pred_index in block.predecessors:
+                if pred_index in out_regs:
+                    regs |= out_regs[pred_index]
+                    preds |= out_preds[pred_index]
+            in_regs[block.index] = regs
+            in_preds[block.index] = preds
+            new_regs = regs | gen[block.index][0]
+            new_preds = preds | gen[block.index][1]
+            if (new_regs != out_regs[block.index]
+                    or new_preds != out_preds[block.index]):
+                out_regs[block.index] = new_regs
+                out_preds[block.index] = new_preds
+                changed = True
+    return in_regs, in_preds
+
+
+def _backward_live(ctx, masks):
+    """Per-block live-out masks: {index: (regs, preds)}."""
+    order = _block_order(ctx)
+    exit_regs = 1 << SIG_REG
+
+    def transfer(block, regs, preds):
+        for pc in range(block.end - 1, block.start - 1, -1):
+            reads, writes, pred_reads, pred_writes, guarded = masks[pc]
+            if not guarded:
+                regs &= ~writes
+                preds &= ~pred_writes
+            regs |= reads
+            preds |= pred_reads
+        return regs, preds
+
+    in_regs = {block.index: 0 for block in order}
+    in_preds = {block.index: 0 for block in order}
+    out_regs = dict(in_regs)
+    out_preds = dict(in_preds)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(order):
+            if block.successors:
+                regs = preds = 0
+                for succ in block.successors:
+                    regs |= in_regs.get(succ, 0)
+                    preds |= in_preds.get(succ, 0)
+            else:
+                regs, preds = exit_regs, 0
+            out_regs[block.index] = regs
+            out_preds[block.index] = preds
+            new_regs, new_preds = transfer(block, regs, preds)
+            if (new_regs != in_regs[block.index]
+                    or new_preds != in_preds[block.index]):
+                in_regs[block.index] = new_regs
+                in_preds[block.index] = new_preds
+                changed = True
+    return out_regs, out_preds
+
+
+def check_dataflow(ctx):
+    """Run DF001/DF002/DF003 over a :class:`VerifyContext`."""
+    if ctx.cfg is None:
+        return []
+    instructions = ctx.instructions
+    masks = ctx.masks
+    diagnostics = []
+
+    written_preds = 0
+    for __, __w, __p, pred_writes, __g in masks:
+        written_preds |= pred_writes
+
+    # DF001 / DF003 — forward walk with the maybe-defined state.
+    in_regs, in_preds = _forward_defined(ctx, masks)
+    for block in _block_order(ctx):
+        regs = in_regs[block.index]
+        preds = in_preds[block.index]
+        for pc in range(block.start, block.end):
+            reads, writes, pred_reads, pred_writes, __ = masks[pc]
+            undefined = reads & ~regs
+            if undefined:
+                names = ", ".join(
+                    "R{}".format(r) for r in range(64) if undefined >> r & 1)
+                diagnostics.append(Diagnostic.of(
+                    "DF001",
+                    "{} reads {} with no reaching definition (reads the "
+                    "launch-time zero)".format(
+                        instructions[pc].op.value, names),
+                    pc=pc, block=block.index))
+            undefined_preds = pred_reads & ~preds & written_preds
+            if undefined_preds:
+                names = ", ".join(
+                    "P{}".format(p) for p in range(4)
+                    if undefined_preds >> p & 1)
+                diagnostics.append(Diagnostic.of(
+                    "DF003",
+                    "{} reads {} before its first definition (predicates "
+                    "launch as False)".format(
+                        instructions[pc].op.value, names),
+                    pc=pc, block=block.index))
+            regs |= writes
+            preds |= pred_writes
+
+    # DF002 — backward walk with the live state.
+    out_regs, out_preds = _backward_live(ctx, masks)
+    for block in _block_order(ctx):
+        regs = out_regs[block.index]
+        preds = out_preds[block.index]
+        for pc in range(block.end - 1, block.start - 1, -1):
+            reads, writes, pred_reads, pred_writes, guarded = masks[pc]
+            dead = writes & ~regs
+            if dead:
+                names = ", ".join(
+                    "R{}".format(r) for r in range(64) if dead >> r & 1)
+                diagnostics.append(Diagnostic.of(
+                    "DF002",
+                    "{} writes {} but the value is never read".format(
+                        instructions[pc].op.value, names),
+                    pc=pc, block=block.index))
+            dead_preds = pred_writes & ~preds
+            if dead_preds:
+                names = ", ".join(
+                    "P{}".format(p) for p in range(4) if dead_preds >> p & 1)
+                diagnostics.append(Diagnostic.of(
+                    "DF002",
+                    "{} sets {} but the predicate is never read".format(
+                        instructions[pc].op.value, names),
+                    pc=pc, block=block.index))
+            if not guarded:
+                regs &= ~writes
+                preds &= ~pred_writes
+            regs |= reads
+            preds |= pred_reads
+    return diagnostics

@@ -1,0 +1,189 @@
+"""Diagnostic model of the static PTP verifier.
+
+A :class:`Diagnostic` is one finding: a rule id from :data:`RULES`, a
+severity (:data:`ERROR` / :data:`WARNING`), an optional pc / basic-block
+location, and a human-readable message.  A :class:`VerificationReport`
+collects every diagnostic of one verified PTP and renders them as text
+(the ``repro lint`` output) or as a JSON-serializable dict (checkpoints,
+``repro lint --json``).
+
+Severity policy (see DESIGN.md §10 for the full catalog):
+
+* **errors** are structural violations no well-formed PTP can carry —
+  out-of-range branch targets, loads from absent memory words, a
+  signature PTP without its flush store, or a compaction that broke a
+  stage-4 invariant.  ``repro lint`` exits 1 on them and the pipeline's
+  strict gate refuses the compaction.
+* **warnings** flag suspicious-but-architecturally-defined constructs:
+  GPRs are zero-initialized and predicates launch as False on the
+  modeled GPU, so a use-before-def reads a defined value — legitimate
+  pseudorandom seed PTPs do this on purpose (the IMM generator's
+  never-written guard predicate, the RAND pool registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severity levels, in decreasing order of gravity.
+ERROR = "error"
+WARNING = "warning"
+
+#: Rule catalog: rule id -> (severity, one-line title).  The id namespace
+#: mirrors the verifier passes: CFG (well-formedness), DF (def-use
+#: dataflow), MEM (memory-image consistency), OBS (observability
+#: reachability), CMP (compaction-safety diff).
+RULES = {
+    "CFG001": (ERROR, "control-flow target out of range"),
+    "CFG002": (ERROR, "execution can fall off the end of the program"),
+    "CFG003": (ERROR, "no EXIT is reachable from the entry block"),
+    "CFG004": (WARNING, "unreachable basic block"),
+    "CFG005": (WARNING, "SSY does not target a JOIN"),
+    "CFG006": (WARNING, "JOIN with no SSY naming it"),
+    "CFG007": (WARNING, "RET without any CAL in the program"),
+    "DF001": (WARNING, "register read with no reaching definition"),
+    "DF002": (WARNING, "dead write (result is never read)"),
+    "DF003": (WARNING, "predicate read before its first definition"),
+    "MEM001": (ERROR, "load from an address missing from the image"),
+    "MEM002": (WARNING, "orphaned operand words in the global image"),
+    "MEM003": (WARNING, "store into the non-observable operand region"),
+    "OBS001": (WARNING, "result never reaches an observable sink"),
+    "OBS002": (ERROR, "signature PTP lost its final flush store"),
+    "OBS003": (WARNING, "PTP has no observable sink at all"),
+    "CMP001": (ERROR, "compacted program is not a subsequence"),
+    "CMP002": (ERROR, "inadmissible basic block was altered"),
+    "CMP003": (ERROR, "pinned instruction removed"),
+    "CMP004": (ERROR, "compaction broke a loop region"),
+    "CMP005": (ERROR, "compacted image adds or alters memory words"),
+    "CMP006": (ERROR, "kernel or target configuration changed"),
+    "CMP007": (ERROR, "branch retargeted inconsistently"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding.
+
+    Attributes:
+        rule: rule id from :data:`RULES` (e.g. ``"CFG001"``).
+        severity: :data:`ERROR` or :data:`WARNING`.
+        message: human-readable description of this occurrence.
+        pc: instruction index the finding anchors to (None when the
+            finding is program-wide, e.g. a missing EXIT).
+        block: basic-block index (None when not block-scoped).
+    """
+
+    rule: str
+    severity: str
+    message: str
+    pc: int | None = None
+    block: int | None = None
+
+    @classmethod
+    def of(cls, rule, message, pc=None, block=None):
+        """Build a diagnostic with the severity the catalog assigns."""
+        severity, __ = RULES[rule]
+        return cls(rule=rule, severity=severity, message=message, pc=pc,
+                   block=block)
+
+    def render(self):
+        """One-line text form: ``[RULE severity] pc N: message``."""
+        where = ""
+        if self.pc is not None:
+            where = "pc {}: ".format(self.pc)
+        elif self.block is not None:
+            where = "BB{}: ".format(self.block)
+        return "[{} {}] {}{}".format(self.rule, self.severity, where,
+                                     self.message)
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "pc": self.pc,
+            "block": self.block,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(rule=data["rule"],
+                   severity=data.get("severity", ERROR),
+                   message=data.get("message", ""),
+                   pc=data.get("pc"),
+                   block=data.get("block"))
+
+
+def _sort_key(diagnostic):
+    # Errors first, then program order; program-wide findings trail.
+    return (0 if diagnostic.severity == ERROR else 1,
+            diagnostic.pc is None,
+            diagnostic.pc if diagnostic.pc is not None else -1,
+            diagnostic.rule)
+
+
+class VerificationReport:
+    """Every diagnostic of one verified PTP (or compaction pair).
+
+    Attributes:
+        ptp_name: name of the verified PTP.
+        diagnostics: the findings, errors first, then in program order.
+    """
+
+    def __init__(self, ptp_name="", diagnostics=()):
+        self.ptp_name = ptp_name
+        self.diagnostics = []
+        self.extend(diagnostics)
+
+    def add(self, diagnostic):
+        self.diagnostics.append(diagnostic)
+        self.diagnostics.sort(key=_sort_key)
+
+    def extend(self, diagnostics):
+        self.diagnostics.extend(diagnostics)
+        self.diagnostics.sort(key=_sort_key)
+
+    @property
+    def errors(self):
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self):
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self):
+        """True when no error-severity diagnostic fired (warnings may)."""
+        return not self.errors
+
+    def by_rule(self, rule):
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    @property
+    def rule_ids(self):
+        """Set of rule ids that fired."""
+        return {d.rule for d in self.diagnostics}
+
+    def to_dict(self):
+        return {
+            "ptp": self.ptp_name,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(ptp_name=data.get("ptp", ""),
+                   diagnostics=[Diagnostic.from_dict(d)
+                                for d in data.get("diagnostics", [])])
+
+    def render_text(self):
+        """Multi-line lint listing (one header line + one per finding)."""
+        header = "{}: {} error(s), {} warning(s)".format(
+            self.ptp_name or "<ptp>", len(self.errors), len(self.warnings))
+        if not self.diagnostics:
+            return header + " — clean"
+        lines = [header]
+        lines.extend("  " + d.render() for d in self.diagnostics)
+        return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Compaction-safety diff pass (rules CMP001..CMP007).
+
+Given an (original, compacted) PTP pair, assert the invariants the
+stage-4 reduction promises (Fig. 3 and :mod:`repro.core.reduction`):
+
+* CMP001: the compacted program is a *subsequence* of the original —
+  the reduction only deletes Small Blocks, it never inserts, reorders,
+  or rewrites instructions (branch targets excepted, see CMP007).
+* CMP002: inadmissible basic blocks (regions stage 1 excluded from the
+  ARC) survive untouched.
+* CMP003: pinned instructions — the S2R/MOV32I preamble and, for
+  signature PTPs, the final flush stores — survive untouched.
+* CMP004: loop regions stay intact (the compacted CFG has at least as
+  many natural loops as the original).
+* CMP005: the compacted global image only *drops* orphaned operand
+  words; it never adds or alters any.
+* CMP006: target module, kernel geometry, constant bank, and the
+  signature flag are unchanged.
+* CMP007: every surviving branch is retargeted exactly as the
+  reduction's fall-forward remap dictates (first kept pc at or after
+  the old target, else the last instruction).
+
+When the caller has the reduction's ``pc_map`` (old pc -> new pc or
+None), the match is taken from it and *validated*; otherwise a greedy
+subsequence match reconstructs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.cfg import build_cfg, find_loops
+from ..core.partition import partition_ptp
+from ..core.reduction import _final_flush_pcs, _preamble_pcs
+from .cfg_rules import BRANCH_OPS, out_of_range_targets
+from .diagnostics import Diagnostic
+
+
+def _same_ignoring_target(a, b):
+    """Instruction equality, branch targets excluded (CMP007's job)."""
+    if a.op is not b.op:
+        return False
+    if a.op in BRANCH_OPS:
+        return replace(a, target=0) == replace(b, target=0)
+    return a == b
+
+
+def _match_from_pc_map(original, compacted, pc_map):
+    """Validate *pc_map* as an old->new match; (match, diagnostics)."""
+    diagnostics = []
+    match = {}
+    previous_new = -1
+    for old_pc, new_pc in enumerate(pc_map):
+        if new_pc is None:
+            continue
+        if new_pc <= previous_new or new_pc >= len(compacted):
+            diagnostics.append(Diagnostic.of(
+                "CMP001",
+                "reduction pc_map sends pc {} to {} out of order or out "
+                "of range".format(old_pc, new_pc)))
+            return None, diagnostics
+        if not _same_ignoring_target(original[old_pc], compacted[new_pc]):
+            diagnostics.append(Diagnostic.of(
+                "CMP001",
+                "pc {} ({}) maps to compacted pc {} which holds {}"
+                .format(old_pc, original[old_pc].op.value, new_pc,
+                        compacted[new_pc].op.value),
+                pc=old_pc))
+            return None, diagnostics
+        match[old_pc] = new_pc
+        previous_new = new_pc
+    if len(match) != len(compacted):
+        diagnostics.append(Diagnostic.of(
+            "CMP001",
+            "reduction pc_map covers {} instruction(s) but the compacted "
+            "program has {}".format(len(match), len(compacted))))
+        return None, diagnostics
+    return match, diagnostics
+
+
+def _match_greedy(original, compacted):
+    """Greedy subsequence match; (match, diagnostics)."""
+    match = {}
+    new_pc = 0
+    for old_pc, instr in enumerate(original):
+        if new_pc < len(compacted) and _same_ignoring_target(
+                instr, compacted[new_pc]):
+            match[old_pc] = new_pc
+            new_pc += 1
+    if new_pc < len(compacted):
+        return None, [Diagnostic.of(
+            "CMP001",
+            "compacted instruction {} at pc {} (of {}) has no "
+            "subsequence match in the original program".format(
+                compacted[new_pc].op.value, new_pc, len(compacted)),
+            pc=new_pc)]
+    return match, []
+
+
+def check_compaction(original, compacted, pc_map=None, partition=None,
+                     compacted_cfg=None):
+    """Diff-verify one (original, compacted) pair; list of diagnostics.
+
+    Args:
+        original: the PTP fed to the pipeline.
+        compacted: the reduced PTP (stage-4 output).
+        pc_map: optional :attr:`ReductionResult.pc_map`; validated when
+            given, reconstructed greedily when not.
+        partition: optional stage-1 :class:`PartitionResult` of the
+            original (recomputed when absent).
+        compacted_cfg: optional pre-built CFG of the compacted program
+            (the verifier context already has one; rebuilt when absent).
+    """
+    diagnostics = []
+    original_instrs = list(original.program)
+    compacted_instrs = list(compacted.program)
+
+    # CMP006 — configuration identity (independent of any match).
+    changed = []
+    if compacted.target != original.target:
+        changed.append("target")
+    if compacted.uses_signature != original.uses_signature:
+        changed.append("uses_signature")
+    if compacted.kernel.grid_blocks != original.kernel.grid_blocks:
+        changed.append("kernel.grid_blocks")
+    if compacted.kernel.block_threads != original.kernel.block_threads:
+        changed.append("kernel.block_threads")
+    if compacted.kernel.const_words != original.kernel.const_words:
+        changed.append("kernel.const_words")
+    if changed:
+        diagnostics.append(Diagnostic.of(
+            "CMP006",
+            "compaction changed {}".format(", ".join(changed))))
+
+    # CMP005 — the image may only shrink.
+    altered = sorted(address for address, value
+                     in compacted.global_image.items()
+                     if original.global_image.get(address) != value)
+    if altered:
+        diagnostics.append(Diagnostic.of(
+            "CMP005",
+            "{} word(s) of the compacted image are absent from or differ "
+            "from the original (first: 0x{:04X})".format(
+                len(altered), altered[0])))
+
+    # Subsequence match (CMP001) — the anchor for the remaining rules.
+    if pc_map is not None:
+        match, match_diags = _match_from_pc_map(
+            original_instrs, compacted_instrs, pc_map)
+    else:
+        match, match_diags = _match_greedy(original_instrs,
+                                           compacted_instrs)
+    diagnostics.extend(match_diags)
+    if match is None:
+        return diagnostics
+
+    # CMP007 — branch retargeting must follow the fall-forward remap.
+    def remap(old_target):
+        for candidate in range(old_target, len(original_instrs)):
+            if candidate in match:
+                return match[candidate]
+        return len(compacted_instrs) - 1
+
+    for old_pc, new_pc in match.items():
+        instr = original_instrs[old_pc]
+        if instr.op not in BRANCH_OPS:
+            continue
+        expected = remap(instr.target)
+        actual = compacted_instrs[new_pc].target
+        if actual != expected:
+            diagnostics.append(Diagnostic.of(
+                "CMP007",
+                "{} at compacted pc {} targets {}, but the compaction "
+                "map of original target {} gives {}".format(
+                    instr.op.value, new_pc, actual, instr.target,
+                    expected),
+                pc=new_pc))
+
+    # CMP002 — inadmissible BBs of the original must survive whole.
+    original_buildable = bool(original_instrs) \
+        and not out_of_range_targets(original_instrs)
+    if partition is None and original_buildable:
+        partition = partition_ptp(original)
+    if partition is not None:
+        for index in sorted(partition.inadmissible_blocks):
+            block = partition.cfg.blocks[index]
+            missing = [pc for pc in range(block.start, block.end)
+                       if pc not in match]
+            if missing:
+                diagnostics.append(Diagnostic.of(
+                    "CMP002",
+                    "inadmissible BB{} (pc {}..{}) lost {} instruction(s) "
+                    "(first: pc {})".format(block.index, block.start,
+                                            block.end - 1, len(missing),
+                                            missing[0]),
+                    block=block.index))
+
+    # CMP003 — pinned preamble / signature-flush instructions.
+    pinned = _preamble_pcs(original_instrs)
+    if original.uses_signature:
+        pinned |= _final_flush_pcs(original_instrs)
+    for pc in sorted(pinned):
+        if pc not in match:
+            diagnostics.append(Diagnostic.of(
+                "CMP003",
+                "pinned {} at original pc {} was removed".format(
+                    original_instrs[pc].op.value, pc),
+                pc=pc))
+
+    # CMP004 — loop regions intact (needs both CFGs to be buildable).
+    # The partition result and the verifier context carry the two CFGs
+    # already; only rebuild what the caller could not supply.
+    original_cfg = partition.cfg if partition is not None else (
+        build_cfg(original_instrs) if original_buildable else None)
+    if compacted_cfg is None and compacted_instrs \
+            and not out_of_range_targets(compacted_instrs):
+        compacted_cfg = build_cfg(compacted_instrs)
+    if original_cfg is not None and compacted_cfg is not None:
+        original_loops = find_loops(original_cfg)
+        compacted_loops = find_loops(compacted_cfg)
+        if len(compacted_loops) < len(original_loops):
+            diagnostics.append(Diagnostic.of(
+                "CMP004",
+                "the original program has {} natural loop(s), the "
+                "compacted one only {}".format(len(original_loops),
+                                               len(compacted_loops))))
+    return diagnostics

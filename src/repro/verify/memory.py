@@ -1,0 +1,99 @@
+"""Memory-image consistency pass (rules MEM001..MEM003).
+
+The generators address operand arrays as ``GLD Rd, [TID_REG + base]`` —
+each of the kernel's ``block_threads`` threads reads one word of the
+array at ``base``.  That makes the address set of TID-based loads
+statically derivable, exactly like the reduction stage's orphan-array
+analysis (:func:`repro.core.reduction._referenced_data_offsets`):
+
+* MEM001 (error): a TID-based GLD whose per-thread words are missing
+  from ``global_image``, or a CLD of a constant word the kernel's
+  constant bank does not define — the PTP would test against zeros
+  instead of its operands, silently gutting fault coverage.
+* MEM002 (warning): words in the operand data region
+  (``[DATA_BASE, OUTPUT_BASE)``) that no GLD references — dead payload
+  the reduction should have relocated away.  Skipped entirely when any
+  GLD uses a non-TID base register (the address is runtime-dependent,
+  so every word may be live — same conservatism as the reduction).
+* MEM003 (warning): a TID-based GST landing inside the operand data
+  region — the store clobbers test operands and is invisible to the
+  module/signature observability models.
+
+Shared-memory SLD/SST live in a separate address space and are not
+checked against ``global_image``.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Op
+from ..stl.builder import DATA_BASE, OUTPUT_BASE, TID_REG
+from .diagnostics import Diagnostic
+
+
+def _runs(sorted_words):
+    """Group a sorted word list into contiguous (start, end) runs."""
+    runs = []
+    for word in sorted_words:
+        if runs and word == runs[-1][1]:
+            runs[-1][1] = word + 1
+        else:
+            runs.append([word, word + 1])
+    return [(start, end) for start, end in runs]
+
+
+def check_memory(ctx):
+    """Run MEM001/MEM002/MEM003 over a :class:`VerifyContext`."""
+    ptp = ctx.ptp
+    instructions = ctx.instructions
+    image = ptp.global_image
+    const_words = ptp.kernel.const_words
+    threads = ptp.kernel.block_threads
+    diagnostics = []
+
+    referenced = set()
+    unknown_base = False
+    for pc, instr in enumerate(instructions):
+        if instr.op is Op.GLD:
+            if instr.src_a != TID_REG:
+                unknown_base = True
+                continue
+            if instr.imm >= OUTPUT_BASE:
+                continue
+            words = range(instr.imm, instr.imm + threads)
+            referenced.update(words)
+            missing = [word for word in words if word not in image]
+            if missing:
+                diagnostics.append(Diagnostic.of(
+                    "MEM001",
+                    "GLD reads the operand array at 0x{:04X}, but {} of "
+                    "its {} per-thread word(s) are missing from the "
+                    "global image (first: 0x{:04X})".format(
+                        instr.imm, len(missing), threads, missing[0]),
+                    pc=pc))
+        elif instr.op is Op.CLD:
+            if instr.imm not in const_words:
+                diagnostics.append(Diagnostic.of(
+                    "MEM001",
+                    "CLD reads c[0x{:X}], which the kernel's constant "
+                    "bank does not define".format(instr.imm),
+                    pc=pc))
+        elif instr.op is Op.GST:
+            if instr.src_a == TID_REG and instr.imm < OUTPUT_BASE:
+                diagnostics.append(Diagnostic.of(
+                    "MEM003",
+                    "GST writes the operand data region at 0x{:04X} "
+                    "(below OUTPUT_BASE 0x{:04X}); the result is not "
+                    "observable and clobbers test operands".format(
+                        instr.imm, OUTPUT_BASE),
+                    pc=pc))
+
+    if not unknown_base:
+        orphaned = sorted(word for word in image
+                          if DATA_BASE <= word < OUTPUT_BASE
+                          and word not in referenced)
+        for start, end in _runs(orphaned):
+            diagnostics.append(Diagnostic.of(
+                "MEM002",
+                "operand words 0x{:04X}..0x{:04X} ({} word(s)) are never "
+                "loaded by any GLD".format(start, end - 1, end - start)))
+    return diagnostics

@@ -1,0 +1,140 @@
+"""Observability reachability pass (rules OBS001..OBS003).
+
+A PTP only detects a fault if the corrupted value reaches an observation
+point (Section II.C): a memory output (GST/SST operand) or, for
+signature PTPs, the per-thread signature register that the pinned flush
+store emits at EXIT.  This pass runs a backward "observably live"
+analysis — a register is observably live when some path carries its
+value into a store operand, an ISETP compare (control steers which
+stores execute), or the signature accumulation:
+
+* OBS001 (warning): a computed result that never reaches any sink — the
+  instruction exercises the module but its outcome can never flip an
+  observation point, so any fault it excites is silently lost.
+* OBS002 (error): a ``uses_signature`` PTP without its final flush
+  store (a GST of ``SIG_REG`` immediately before an EXIT).  The flush
+  is the PTP's *sole* observable mechanism; stage 4 pins it for exactly
+  this reason.
+* OBS003 (warning): the PTP has no store at all — nothing it computes
+  can be observed.
+
+The verifier suppresses OBS001 on pcs already flagged DF002 (a dead
+write is trivially unobservable; one finding is enough).
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Op
+from ..stl.signature import SIG_REG
+from .diagnostics import Diagnostic
+from .dataflow import _block_order
+
+_STORE_OPS = (Op.GST, Op.SST)
+
+
+def _flush_store_pcs(instructions):
+    """Stores in the run immediately preceding each EXIT (stage 4's
+    pinned-flush definition, mirrored from the reduction)."""
+    pinned = set()
+    for pc, instr in enumerate(instructions):
+        if instr.op is Op.EXIT:
+            back = pc - 1
+            while back >= 0 and instructions[back].op in _STORE_OPS:
+                pinned.add(back)
+                back -= 1
+    return pinned
+
+
+def _observable_out(ctx, masks):
+    """Per-block observably-live-out register masks (backward fixpoint)."""
+    instructions = ctx.instructions
+    order = _block_order(ctx)
+    exit_regs = (1 << SIG_REG) if ctx.ptp.uses_signature else 0
+
+    def transfer(block, regs):
+        for pc in range(block.end - 1, block.start - 1, -1):
+            instr = instructions[pc]
+            reads, writes, __, __p, guarded = masks[pc]
+            if instr.op in _STORE_OPS or instr.op is Op.ISETP:
+                regs |= reads
+            elif writes:
+                if regs & writes:
+                    if not guarded:
+                        regs &= ~writes
+                    regs |= reads
+        return regs
+
+    in_regs = {block.index: 0 for block in order}
+    out_regs = dict(in_regs)
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(order):
+            if block.successors:
+                regs = 0
+                for succ in block.successors:
+                    regs |= in_regs.get(succ, 0)
+            else:
+                regs = exit_regs
+            out_regs[block.index] = regs
+            new_regs = transfer(block, regs)
+            if new_regs != in_regs[block.index]:
+                in_regs[block.index] = new_regs
+                changed = True
+    return out_regs
+
+
+def check_observability(ctx):
+    """Run OBS001/OBS002/OBS003 over a :class:`VerifyContext`."""
+    if ctx.cfg is None:
+        return []
+    ptp = ctx.ptp
+    instructions = ctx.instructions
+    diagnostics = []
+
+    store_pcs = [pc for pc, instr in enumerate(instructions)
+                 if instr.op in _STORE_OPS]
+
+    if ptp.uses_signature:
+        flush = _flush_store_pcs(instructions)
+        has_flush = any(instructions[pc].op is Op.GST
+                        and instructions[pc].src_b == SIG_REG
+                        for pc in flush)
+        if not has_flush:
+            diagnostics.append(Diagnostic.of(
+                "OBS002",
+                "signature PTP has no pinned flush store (a GST of R{} "
+                "immediately before an EXIT); the signature is never "
+                "emitted".format(SIG_REG)))
+
+    if not store_pcs:
+        diagnostics.append(Diagnostic.of(
+            "OBS003",
+            "the program contains no GST/SST; nothing it computes is "
+            "observable"))
+
+    masks = ctx.masks
+    out_regs = _observable_out(ctx, masks)
+    for block in _block_order(ctx):
+        regs = out_regs[block.index]
+        for pc in range(block.end - 1, block.start - 1, -1):
+            instr = instructions[pc]
+            reads, writes, __, __p, guarded = masks[pc]
+            unobserved = writes & ~regs
+            if unobserved and instr.op not in _STORE_OPS:
+                names = ", ".join(
+                    "R{}".format(r) for r in range(64)
+                    if unobserved >> r & 1)
+                diagnostics.append(Diagnostic.of(
+                    "OBS001",
+                    "{} result in {} never reaches a store, compare, or "
+                    "signature update".format(instr.op.value, names),
+                    pc=pc, block=block.index))
+            if instr.op in _STORE_OPS or instr.op is Op.ISETP:
+                regs |= reads
+            elif writes:
+                if regs & writes:
+                    if not guarded:
+                        regs &= ~writes
+                    regs |= reads
+    return diagnostics

@@ -1,0 +1,131 @@
+"""Verifier driver: composes the passes over one PTP (or a pair).
+
+:func:`verify_ptp` runs the single-PTP passes (CFG, dataflow, memory,
+observability); :func:`verify_compaction` additionally runs the
+compaction-safety diff of :mod:`repro.verify.diffcheck` against the
+original.  :class:`PtpVerifier` is the composable form — hand it a
+subset of passes to run a custom lint.
+
+Each pass is a plain function ``pass_fn(ctx) -> [Diagnostic]`` over a
+shared :class:`VerifyContext`.  The context builds the CFG at most once
+— and only when every control-flow target is in range, since
+:func:`~repro.core.cfg.build_cfg` indexes its pc table by target; with
+out-of-range targets the CFG-dependent passes stand down and CFG001
+carries the report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cfg import build_cfg
+from .cfg_rules import check_cfg, out_of_range_targets, reachable_blocks
+from .dataflow import check_dataflow
+from .diagnostics import VerificationReport
+from .diffcheck import check_compaction
+from .memory import check_memory
+from .observability import check_observability
+
+
+@dataclass
+class VerifyContext:
+    """Shared analysis state handed to every pass.
+
+    Attributes:
+        ptp: the verified :class:`~repro.stl.ptp.ParallelTestProgram`.
+        instructions: its instruction list (materialized once).
+        cfg: the :class:`~repro.core.cfg.ControlFlowGraph`, or None when
+            an out-of-range target makes it unbuildable.
+        reachable: block indices reachable from entry (empty when
+            ``cfg`` is None).
+    """
+
+    ptp: object
+    instructions: list
+    cfg: object = None
+    reachable: frozenset = frozenset()
+    _masks: list = None
+
+    @property
+    def masks(self):
+        """Per-pc dataflow masks, computed once and shared by the
+        dataflow and observability passes."""
+        if self._masks is None:
+            from .dataflow import _instruction_masks
+
+            self._masks = _instruction_masks(self.instructions)
+        return self._masks
+
+
+def build_context(ptp):
+    """Build the :class:`VerifyContext` for *ptp*."""
+    instructions = list(ptp.program)
+    if instructions and not out_of_range_targets(instructions):
+        cfg = build_cfg(instructions)
+        reachable = frozenset(reachable_blocks(cfg))
+    else:
+        cfg = None
+        reachable = frozenset()
+    return VerifyContext(ptp=ptp, instructions=instructions, cfg=cfg,
+                         reachable=reachable)
+
+
+#: The default pass lineup, in execution order.
+DEFAULT_PASSES = (check_cfg, check_dataflow, check_memory,
+                  check_observability)
+
+
+def _suppress_shadowed(diagnostics):
+    """Drop OBS001 findings on pcs already flagged as dead writes —
+    DF002 subsumes them (a dead write is trivially unobservable)."""
+    dead_pcs = {d.pc for d in diagnostics
+                if d.rule == "DF002" and d.pc is not None}
+    return [d for d in diagnostics
+            if not (d.rule == "OBS001" and d.pc in dead_pcs)]
+
+
+class PtpVerifier:
+    """Rule-based static analyzer over PTPs.
+
+    Args:
+        passes: iterable of pass functions (default:
+            :data:`DEFAULT_PASSES`).
+    """
+
+    def __init__(self, passes=DEFAULT_PASSES):
+        self.passes = tuple(passes)
+
+    def verify(self, ptp):
+        """Run every pass over *ptp*; a :class:`VerificationReport`."""
+        return self._verify(build_context(ptp))
+
+    def _verify(self, ctx):
+        diagnostics = []
+        for pass_fn in self.passes:
+            diagnostics.extend(pass_fn(ctx))
+        return VerificationReport(ctx.ptp.name,
+                                  _suppress_shadowed(diagnostics))
+
+    def verify_compaction(self, original, compacted, pc_map=None,
+                          partition=None):
+        """Verify *compacted* standalone, then diff it against
+        *original*; one merged :class:`VerificationReport` (named after
+        the compacted PTP)."""
+        ctx = build_context(compacted)
+        report = self._verify(ctx)
+        report.extend(check_compaction(original, compacted, pc_map=pc_map,
+                                       partition=partition,
+                                       compacted_cfg=ctx.cfg))
+        return report
+
+
+def verify_ptp(ptp):
+    """Run the default pass lineup over one PTP."""
+    return PtpVerifier().verify(ptp)
+
+
+def verify_compaction(original, compacted, pc_map=None, partition=None):
+    """Verify a stage-4 (original, compacted) pair end to end."""
+    return PtpVerifier().verify_compaction(original, compacted,
+                                           pc_map=pc_map,
+                                           partition=partition)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.labeling import label_instructions
-from repro.core.patterns import (PatternReport, parse_pattern_report,
+from repro.core.patterns import (parse_pattern_report,
                                  write_pattern_report)
 from repro.core.reports import (parse_fault_sim_report,
                                 write_compaction_summary,
@@ -45,8 +45,6 @@ def test_pattern_report_to_pattern_set(artifacts, du_module):
     patterns = report.to_pattern_set()
     assert patterns.count == report.count == ptp.size
     # Pattern k must be the encoded instruction word of record k.
-    from repro.isa import encoding
-
     for k, record in enumerate(report.records):
         word = 0
         for i, net in enumerate(du_module.input_words["instr"]):

@@ -1,7 +1,5 @@
 """Reduction edge cases: hammocks, inadmissible regions, pc maps."""
 
-import pytest
-
 from repro.core.labeling import label_instructions
 from repro.core.partition import partition_ptp
 from repro.core.reduction import (_hammock_spans, reduce_ptp,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.faults import (FaultList, FaultSimulator, OUTPUT_PIN, PodemEngine,
                           StuckAtFault, run_atpg)
-from repro.netlist import CONST0, GateType, Netlist, PatternSet
+from repro.netlist import GateType, Netlist, PatternSet
 from repro.netlist.modules import HardwareModule
 
 

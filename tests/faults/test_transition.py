@@ -1,7 +1,5 @@
 """Transition-delay fault model (the paper's future-work extension)."""
 
-import pytest
-
 from repro.faults import (FALL, RISE, TransitionFault,
                           TransitionFaultSimulator,
                           enumerate_transition_faults)
@@ -92,7 +90,7 @@ def test_transition_coverage_below_stuck_at():
     transition coverage never exceeds its stem stuck-at coverage."""
     import random
 
-    from repro.faults import FaultList, FaultSimulator, OUTPUT_PIN
+    from repro.faults import FaultList, FaultSimulator
 
     from repro.netlist.modules import build_sp_core
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.gpu import Gpu, KernelConfig, WARP_SIZE
+from repro.gpu import Gpu, KernelConfig
 from repro.isa import assemble
 
 

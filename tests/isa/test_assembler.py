@@ -54,7 +54,7 @@ def test_labels_forward_and_backward():
 
 
 def test_numeric_branch_targets():
-    program = assemble("BRA 5")
+    program = assemble("BRA 5\nNOP\nNOP\nNOP\nNOP\nEXIT")
     assert program[0].target == 5
 
 
@@ -129,3 +129,40 @@ def test_disassemble_round_trip():
     program = assemble(source)
     again = assemble(disassemble(program.instructions))
     assert list(again) == list(program)
+
+
+def test_error_numeric_branch_target_out_of_range():
+    with pytest.raises(AssemblyError, match="outside the program"):
+        assemble("NOP\nBRA 7\nEXIT")
+
+
+def test_error_out_of_range_target_reports_line():
+    try:
+        assemble("NOP\nBRA 7\nEXIT")
+    except AssemblyError as exc:
+        assert exc.line == 2
+    else:
+        pytest.fail("expected AssemblyError")
+
+
+def test_error_negative_branch_target():
+    with pytest.raises(AssemblyError, match="outside the program"):
+        assemble("BRA -1\nEXIT")
+
+
+def test_error_trailing_label_is_out_of_range():
+    # A label after the last instruction resolves to len(program).
+    with pytest.raises(AssemblyError, match="outside the program"):
+        assemble("BRA end\nEXIT\nend:")
+
+
+def test_branch_to_last_instruction_is_in_range():
+    program = assemble("BRA 1\nEXIT")
+    assert program[0].target == 1
+
+
+def test_error_out_of_range_cal_and_ssy():
+    with pytest.raises(AssemblyError, match="outside the program"):
+        assemble("CAL 9\nEXIT")
+    with pytest.raises(AssemblyError, match="outside the program"):
+        assemble("SSY 9\nJOIN\nEXIT")

@@ -1,6 +1,5 @@
 """Opcode table invariants."""
 
-import pytest
 
 from repro.isa import opcodes
 from repro.isa.opcodes import Fmt, Op, Unit

@@ -1,6 +1,5 @@
 """The three synthesized target modules vs their reference models."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import Instruction, Pred, assemble, encode

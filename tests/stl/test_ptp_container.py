@@ -65,3 +65,46 @@ def test_targeting_filters_in_order():
     assert [p.name for p in stl.targeting("decoder_unit")] == ["A", "C"]
     assert [p.name for p in stl.targeting("sp_core")] == ["B"]
     assert stl.targeting("sfu") == []
+
+
+def _hinted(hints, size=4):
+    instructions = [Instruction(Op.NOP) for __ in range(size - 1)]
+    instructions.append(Instruction(Op.EXIT))
+    return ParallelTestProgram(name="H", target="decoder_unit",
+                               program=Program(instructions),
+                               sb_hints=hints)
+
+
+def test_valid_sb_hints_accepted():
+    ptp = _hinted([(0, 2), (2, 3), (3, 4)])
+    assert ptp.sb_hints == [(0, 2), (2, 3), (3, 4)]
+
+
+def test_sb_hint_must_be_a_pair():
+    with pytest.raises(CompactionError, match="not a .start, end. pair"):
+        _hinted(["abc"])
+    with pytest.raises(CompactionError, match="not a .start, end. pair"):
+        _hinted([(0, 1, 2)])
+
+
+def test_sb_hint_bounds_are_checked():
+    with pytest.raises(CompactionError, match="0 <= start < end"):
+        _hinted([(2, 2)])  # empty
+    with pytest.raises(CompactionError, match="0 <= start < end"):
+        _hinted([(-1, 2)])  # negative start
+    with pytest.raises(CompactionError, match="0 <= start < end"):
+        _hinted([(0, 5)])  # past the end
+    with pytest.raises(CompactionError, match="0 <= start < end"):
+        _hinted([(1.0, 2)])  # non-integer
+
+
+def test_sb_hints_must_be_ordered_and_disjoint():
+    with pytest.raises(CompactionError, match="non-overlapping"):
+        _hinted([(0, 2), (1, 3)])
+    with pytest.raises(CompactionError, match="non-overlapping"):
+        _hinted([(2, 3), (0, 1)])
+
+
+def test_sb_hint_error_names_the_ptp():
+    with pytest.raises(CompactionError, match="'H'"):
+        _hinted([(0, 9)])

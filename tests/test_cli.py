@@ -226,3 +226,60 @@ def test_help_documents_exec_flags(capsys):
         assert "--jobs" in out
         assert "--cache-dir" in out
         assert "--metrics-out" in out
+
+
+def test_lint_clean_ptp_exits_0(tmp_path, capsys):
+    ptp_dir = str(tmp_path / "imm")
+    main(["generate", "--ptp", "IMM", "--seed", "5", "--sbs", "4",
+          "--out", ptp_dir])
+    capsys.readouterr()
+    assert main(["lint", "--ptp-dir", ptp_dir]) == 0
+    out = capsys.readouterr().out
+    assert "IMM: 0 error(s)" in out
+    assert "lint: 1 PTP(s), 0 error(s)" in out
+
+
+def test_lint_stl_dir_json_output(tmp_path, capsys):
+    import json
+
+    stl_dir = _write_stl(tmp_path, capsys)
+    assert main(["lint", "--stl-dir", stl_dir, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["errors"] == 0
+    assert [p["ptp"] for p in data["ptps"]] == ["IMM", "MEM"]
+    for ptp in data["ptps"]:
+        for diag in ptp["diagnostics"]:
+            assert diag["severity"] == "warning"
+
+
+def test_lint_broken_ptp_exits_1(tmp_path, capsys):
+    ptp_dir = str(tmp_path / "mem")
+    main(["generate", "--ptp", "MEM", "--seed", "5", "--sbs", "4",
+          "--out", ptp_dir])
+    capsys.readouterr()
+    asm_path = os.path.join(ptp_dir, "program.asm")
+    with open(asm_path) as handle:
+        lines = handle.read().splitlines()
+    # Drop the EXIT: execution now falls off the end (CFG002 + CFG003).
+    lines = [line for line in lines if line.strip() != "EXIT"]
+    with open(asm_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    assert main(["lint", "--ptp-dir", ptp_dir]) == 1
+    out = capsys.readouterr().out
+    assert "CFG002" in out or "CFG003" in out
+
+
+def test_lint_missing_dir_exits_2(tmp_path, capsys):
+    assert main(["lint", "--ptp-dir", str(tmp_path / "nope")]) == 2
+    assert "repro:" in capsys.readouterr().err
+
+
+def test_compact_verify_strict_flag(tmp_path, capsys):
+    src_dir = str(tmp_path / "src")
+    out_dir = str(tmp_path / "out")
+    main(["generate", "--ptp", "IMM", "--seed", "5", "--sbs", "4",
+          "--out", src_dir])
+    capsys.readouterr()
+    assert main(["compact", "--ptp-dir", src_dir, "--out", out_dir,
+                 "--no-evaluate", "--verify", "strict"]) == 0
+    assert "verify" in capsys.readouterr().out

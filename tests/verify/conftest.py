@@ -1,0 +1,16 @@
+"""Shared helpers for the verifier tests: assemble-and-wrap factories."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.stl.ptp import ParallelTestProgram
+
+
+@pytest.fixture
+def make_ptp():
+    """Factory: assembly source -> ParallelTestProgram."""
+
+    def build(source, name="T", target="sp_core", **kwargs):
+        return ParallelTestProgram(name, target, assemble(source), **kwargs)
+
+    return build

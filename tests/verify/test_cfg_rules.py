@@ -1,0 +1,91 @@
+"""CFG well-formedness rules (CFG001..CFG007) on handcrafted programs."""
+
+from repro.isa.instruction import Instruction, Program
+from repro.isa.opcodes import Op
+from repro.stl.ptp import ParallelTestProgram
+from repro.verify import build_context, verify_ptp
+from repro.verify.cfg_rules import check_cfg, out_of_range_targets
+
+
+def _rules(report):
+    return report.rule_ids
+
+
+def test_out_of_range_target_fires_cfg001_without_crashing():
+    # The assembler rejects this, so build the program by hand — the
+    # verifier must still survive it (build_cfg would crash).
+    program = Program([Instruction(Op.BRA, target=99),
+                       Instruction(Op.EXIT)])
+    ptp = ParallelTestProgram("T", "sp_core", program)
+    report = verify_ptp(ptp)
+    assert _rules(report) == {"CFG001"}
+    assert not report.ok
+    assert report.diagnostics[0].pc == 0
+
+
+def test_out_of_range_targets_helper():
+    program = [Instruction(Op.BRA, target=5), Instruction(Op.EXIT)]
+    assert [pc for pc, _ in out_of_range_targets(program)] == [0]
+    assert out_of_range_targets([Instruction(Op.EXIT)]) == []
+
+
+def test_empty_program_is_cfg003(make_ptp):
+    ptp = ParallelTestProgram("T", "sp_core", Program([]))
+    diags = check_cfg(build_context(ptp))
+    assert [d.rule for d in diags] == ["CFG003"]
+
+
+def test_fall_off_end_fires_cfg002_and_cfg003(make_ptp):
+    report = verify_ptp(make_ptp("IADD R2, R2, R2"))
+    assert {"CFG002", "CFG003"} <= _rules(report)
+    assert not report.ok
+
+
+def test_infinite_loop_has_no_reachable_exit(make_ptp):
+    report = verify_ptp(make_ptp("BRA 0"))
+    assert "CFG003" in _rules(report)
+    assert "CFG002" not in _rules(report)  # the BRA cannot fall through
+
+
+def test_code_after_exit_is_unreachable_cfg004(make_ptp):
+    report = verify_ptp(make_ptp("""
+        MOV32I R2, 5
+        GST [R0+0x8000], R2
+        EXIT
+        NOP
+        EXIT
+    """))
+    assert _rules(report) == {"CFG004"}
+    assert report.ok  # dead code is a warning, not an error
+
+
+def test_ssy_to_non_join_fires_cfg005(make_ptp):
+    report = verify_ptp(make_ptp("SSY 2\nEXIT\nNOP\nEXIT"))
+    assert "CFG005" in _rules(report)
+
+
+def test_paired_ssy_join_is_clean(make_ptp):
+    report = verify_ptp(make_ptp("""
+        MOV32I R2, 1
+        SSY 3
+        BRA 3
+        JOIN
+        GST [R0+0x8000], R2
+        EXIT
+    """))
+    assert report.rule_ids == set()
+
+
+def test_bare_join_fires_cfg006(make_ptp):
+    report = verify_ptp(make_ptp("JOIN\nEXIT"))
+    assert "CFG006" in _rules(report)
+
+
+def test_ret_without_cal_fires_cfg007(make_ptp):
+    report = verify_ptp(make_ptp("NOP\nRET"))
+    assert "CFG007" in _rules(report)
+
+
+def test_ret_with_cal_is_accepted(make_ptp):
+    report = verify_ptp(make_ptp("CAL 2\nEXIT\nRET"))
+    assert "CFG007" not in _rules(report)

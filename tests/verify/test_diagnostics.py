@@ -1,0 +1,81 @@
+"""Diagnostic model: severities, ordering, serialization, rendering."""
+
+import pytest
+
+from repro.verify import ERROR, RULES, WARNING, Diagnostic, VerificationReport
+
+
+def test_catalog_severities_are_valid():
+    assert RULES
+    for rule, (severity, title) in RULES.items():
+        assert severity in (ERROR, WARNING)
+        assert title
+
+
+def test_of_takes_severity_from_catalog():
+    assert Diagnostic.of("CFG001", "x").severity == ERROR
+    assert Diagnostic.of("DF001", "x").severity == WARNING
+
+
+def test_of_rejects_unknown_rule():
+    with pytest.raises(KeyError):
+        Diagnostic.of("XYZ999", "x")
+
+
+def test_render_mentions_rule_severity_and_pc():
+    line = Diagnostic.of("MEM001", "missing word", pc=7).render()
+    assert line == "[MEM001 error] pc 7: missing word"
+    blockwide = Diagnostic.of("CFG004", "dead", block=3).render()
+    assert blockwide == "[CFG004 warning] BB3: dead"
+
+
+def test_diagnostic_dict_round_trip():
+    diag = Diagnostic.of("CMP003", "pinned gone", pc=2, block=1)
+    assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+
+def test_report_sorts_errors_first_then_program_order():
+    report = VerificationReport("X")
+    report.add(Diagnostic.of("DF002", "w", pc=1))
+    report.add(Diagnostic.of("MEM001", "e", pc=9))
+    report.add(Diagnostic.of("CFG001", "e", pc=3))
+    report.add(Diagnostic.of("OBS001", "w", pc=0))
+    assert [d.rule for d in report.diagnostics] == [
+        "CFG001", "MEM001", "OBS001", "DF002"]
+
+
+def test_report_ok_and_partitions():
+    clean = VerificationReport("X")
+    assert clean.ok and not clean.errors and not clean.warnings
+    warned = VerificationReport("X", [Diagnostic.of("DF001", "w", pc=0)])
+    assert warned.ok and len(warned.warnings) == 1
+    failed = VerificationReport("X", [Diagnostic.of("MEM001", "e", pc=0)])
+    assert not failed.ok and len(failed.errors) == 1
+
+
+def test_report_by_rule_and_rule_ids():
+    report = VerificationReport("X", [Diagnostic.of("DF001", "a", pc=0),
+                                      Diagnostic.of("DF001", "b", pc=1),
+                                      Diagnostic.of("OBS003", "c")])
+    assert len(report.by_rule("DF001")) == 2
+    assert report.rule_ids == {"DF001", "OBS003"}
+
+
+def test_report_dict_round_trip():
+    report = VerificationReport("IMM", [Diagnostic.of("MEM001", "e", pc=4),
+                                        Diagnostic.of("DF002", "w", pc=2)])
+    data = report.to_dict()
+    assert data["ptp"] == "IMM"
+    assert data["errors"] == 1 and data["warnings"] == 1
+    restored = VerificationReport.from_dict(data)
+    assert restored.ptp_name == "IMM"
+    assert restored.diagnostics == report.diagnostics
+
+
+def test_render_text_clean_and_dirty():
+    assert VerificationReport("IMM").render_text() == \
+        "IMM: 0 error(s), 0 warning(s) — clean"
+    dirty = VerificationReport("IMM", [Diagnostic.of("MEM001", "gone", pc=4)])
+    text = dirty.render_text()
+    assert text.startswith("IMM: 1 error(s), 0 warning(s)")
+    assert "[MEM001 error] pc 4: gone" in text

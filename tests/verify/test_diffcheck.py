@@ -1,0 +1,129 @@
+"""Compaction-safety diff rules (CMP001..CMP007) against real stage-4
+output: the pipeline's own reductions must pass, targeted corruptions of
+them must trip exactly the invariant they break."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pipeline import CompactionPipeline
+from repro.gpu.config import KernelConfig
+from repro.isa.instruction import Instruction, Program
+from repro.isa.opcodes import Op
+from repro.netlist.modules import build_decoder_unit
+from repro.stl import generate_cntrl, generate_imm
+from repro.verify import check_compaction
+
+
+@pytest.fixture(scope="module")
+def imm_pair():
+    module = build_decoder_unit()
+    ptp = generate_imm(seed=2, num_sbs=5)
+    outcome = CompactionPipeline(module, verify="off").compact(
+        ptp, evaluate=False)
+    return ptp, outcome
+
+
+@pytest.fixture(scope="module")
+def cntrl_pair():
+    module = build_decoder_unit()
+    ptp = generate_cntrl(seed=2, num_sbs=4)
+    outcome = CompactionPipeline(module, verify="off").compact(
+        ptp, evaluate=False)
+    return ptp, outcome
+
+
+def _rules(diags):
+    return {d.rule for d in diags}
+
+
+def test_identity_pair_is_clean(imm_pair):
+    ptp, _ = imm_pair
+    assert check_compaction(ptp, ptp) == []
+
+
+def test_real_reduction_is_clean_with_and_without_pc_map(imm_pair):
+    ptp, outcome = imm_pair
+    assert check_compaction(ptp, outcome.compacted,
+                            pc_map=outcome.reduction.pc_map,
+                            partition=outcome.partition) == []
+    assert check_compaction(ptp, outcome.compacted) == []
+
+
+def test_inserted_instruction_fires_cmp001(imm_pair):
+    ptp, outcome = imm_pair
+    instrs = list(outcome.compacted.program)
+    alien = Instruction(Op.MOV32I, dst=60, imm=0xDEAD)
+    mutated = outcome.compacted.with_program(
+        Program(instrs[:3] + [alien] + instrs[3:]))
+    assert "CMP001" in _rules(check_compaction(ptp, mutated))
+
+
+def test_bogus_pc_map_fires_cmp001(imm_pair):
+    ptp, outcome = imm_pair
+    bad_map = [0] * len(ptp.program)  # not strictly increasing
+    diags = check_compaction(ptp, outcome.compacted, pc_map=bad_map)
+    assert "CMP001" in _rules(diags)
+
+
+def test_altered_inadmissible_block_fires_cmp002(cntrl_pair):
+    ptp, outcome = cntrl_pair
+    inadmissible = sorted(outcome.partition.inadmissible_blocks)
+    assert inadmissible, "CNTRL must have a parametric loop"
+    block = outcome.partition.cfg.blocks[inadmissible[0]]
+    instrs = list(ptp.program)
+    mutated = ptp.with_program(
+        Program(instrs[:block.start] + instrs[block.start + 1:]))
+    diags = check_compaction(ptp, mutated, partition=outcome.partition)
+    assert "CMP002" in _rules(diags)
+
+
+def test_dropped_preamble_fires_cmp003(imm_pair):
+    ptp, outcome = imm_pair
+    instrs = list(outcome.compacted.program)
+    mutated = outcome.compacted.with_program(Program(instrs[1:]))
+    assert "CMP003" in _rules(check_compaction(ptp, mutated))
+
+
+def test_dropped_loop_branch_fires_cmp004(cntrl_pair):
+    ptp, outcome = cntrl_pair
+    instrs = list(outcome.compacted.program)
+    backward = [pc for pc, instr in enumerate(instrs)
+                if instr.op is Op.BRA and instr.target <= pc]
+    assert backward, "compacted CNTRL must keep its loop"
+    pc = backward[0]
+    mutated = outcome.compacted.with_program(
+        Program(instrs[:pc] + instrs[pc + 1:]))
+    assert "CMP004" in _rules(check_compaction(ptp, mutated))
+
+
+def test_altered_image_word_fires_cmp005(imm_pair, cntrl_pair):
+    for ptp, outcome in (imm_pair, cntrl_pair):
+        image = dict(outcome.compacted.global_image)
+        if image:
+            address = next(iter(image))
+            image[address] ^= 0xFF
+        else:
+            image[0x4000] = 1  # added word: equally forbidden
+        mutated = replace(outcome.compacted, global_image=image)
+        assert "CMP005" in _rules(check_compaction(ptp, mutated))
+
+
+def test_changed_kernel_fires_cmp006(imm_pair):
+    ptp, outcome = imm_pair
+    mutated = replace(outcome.compacted,
+                      kernel=KernelConfig(block_threads=64))
+    assert "CMP006" in _rules(check_compaction(ptp, mutated))
+
+
+def test_retargeted_branch_fires_cmp007(cntrl_pair):
+    ptp, outcome = cntrl_pair
+    instrs = list(outcome.compacted.program)
+    branches = [pc for pc, instr in enumerate(instrs)
+                if instr.op is Op.BRA]
+    assert branches
+    pc = branches[0]
+    wrong = (instrs[pc].target + 1) % len(instrs)
+    instrs[pc] = replace(instrs[pc], target=wrong)
+    mutated = outcome.compacted.with_program(Program(instrs))
+    assert "CMP007" in _rules(check_compaction(ptp, mutated))

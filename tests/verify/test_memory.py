@@ -1,0 +1,87 @@
+"""Memory-image consistency rules (MEM001..MEM003)."""
+
+from repro.gpu.config import KernelConfig
+from repro.verify import build_context
+from repro.verify.memory import check_memory
+
+
+def _mem(make_ptp, source, **kwargs):
+    ctx = build_context(make_ptp(source, **kwargs))
+    return [(d.rule, d.pc) for d in check_memory(ctx)]
+
+
+def test_gld_of_missing_operand_array_fires_mem001(make_ptp):
+    diags = _mem(make_ptp, """
+        GLD R2, [R0+0x0]
+        GST [R0+0x8000], R2
+        EXIT
+    """, kernel=KernelConfig(block_threads=4))
+    assert diags == [("MEM001", 0)]
+
+
+def test_gld_of_present_array_is_clean(make_ptp):
+    assert _mem(make_ptp, """
+        GLD R2, [R0+0x0]
+        GST [R0+0x8000], R2
+        EXIT
+    """, kernel=KernelConfig(block_threads=4),
+        global_image={0: 1, 1: 2, 2: 3, 3: 4}) == []
+
+
+def test_partial_array_still_fires_mem001(make_ptp):
+    # Only 2 of the 4 per-thread words exist.
+    diags = _mem(make_ptp, """
+        GLD R2, [R0+0x0]
+        GST [R0+0x8000], R2
+        EXIT
+    """, kernel=KernelConfig(block_threads=4), global_image={0: 1, 1: 2})
+    assert diags == [("MEM001", 0)]
+
+
+def test_cld_of_undefined_constant_fires_mem001(make_ptp):
+    diags = _mem(make_ptp, """
+        CLD R2, c[0x4]
+        GST [R0+0x8000], R2
+        EXIT
+    """)
+    assert diags == [("MEM001", 0)]
+    assert _mem(make_ptp, """
+        CLD R2, c[0x4]
+        GST [R0+0x8000], R2
+        EXIT
+    """, kernel=KernelConfig(const_words={4: 7})) == []
+
+
+def test_orphaned_operand_words_fire_mem002(make_ptp):
+    diags = _mem(make_ptp, """
+        MOV32I R2, 5
+        GST [R0+0x8000], R2
+        EXIT
+    """, global_image={0x10: 1, 0x11: 2})
+    assert diags == [("MEM002", None)]
+
+
+def test_unknown_base_register_suppresses_mem002(make_ptp):
+    # A GLD through a computed base may read anything; stay quiet.
+    assert _mem(make_ptp, """
+        GLD R2, [R3+0x0]
+        GST [R0+0x8000], R2
+        EXIT
+    """, global_image={0x10: 1}) == []
+
+
+def test_store_into_operand_region_fires_mem003(make_ptp):
+    diags = _mem(make_ptp, """
+        MOV32I R2, 5
+        GST [R0+0x10], R2
+        EXIT
+    """)
+    assert ("MEM003", 1) in diags
+
+
+def test_store_at_output_base_is_clean(make_ptp):
+    assert _mem(make_ptp, """
+        MOV32I R2, 5
+        GST [R0+0x8000], R2
+        EXIT
+    """) == []

@@ -1,0 +1,75 @@
+"""Observability reachability rules (OBS001..OBS003)."""
+
+from repro.verify import build_context, verify_ptp
+from repro.verify.observability import check_observability
+
+
+def _obs(make_ptp, source, **kwargs):
+    ctx = build_context(make_ptp(source, **kwargs))
+    return [(d.rule, d.pc) for d in check_observability(ctx)]
+
+
+def test_value_reaching_store_is_clean(make_ptp):
+    assert _obs(make_ptp, """
+        MOV32I R2, 5
+        GST [R0+0x8000], R2
+        EXIT
+    """) == []
+
+
+def test_unobserved_result_fires_obs001(make_ptp):
+    diags = _obs(make_ptp, """
+        MOV32I R2, 5
+        MOV32I R3, 6
+        GST [R0+0x8000], R3
+        EXIT
+    """)
+    assert diags == [("OBS001", 0)]
+
+
+def test_isetp_counts_as_observable_sink(make_ptp):
+    # The compare steers which stores execute, so a value feeding it is
+    # observable even though it never lands in memory itself.
+    assert _obs(make_ptp, """
+        MOV32I R2, 5
+        ISETP P0, R2, R0, LT
+        @P0 GST [R0+0x8000], R2
+        EXIT
+    """) == []
+
+
+def test_signature_ptp_without_flush_fires_obs002(make_ptp):
+    diags = _obs(make_ptp, """
+        MOV32I R2, 5
+        GST [R0+0x8000], R2
+        EXIT
+    """, uses_signature=True)
+    assert ("OBS002", None) in diags
+
+
+def test_signature_flush_before_exit_satisfies_obs002(make_ptp):
+    # A GST of R1 (the signature register) immediately before EXIT is
+    # the stage-4 pinned flush.
+    assert _obs(make_ptp, """
+        MOV32I R2, 5
+        GST [R0+0x8000], R2
+        GST [R0+0xF000], R1
+        EXIT
+    """, uses_signature=True) == []
+
+
+def test_storeless_program_fires_obs003(make_ptp):
+    diags = _obs(make_ptp, "MOV32I R2, 5\nEXIT")
+    assert ("OBS003", None) in diags
+
+
+def test_verifier_suppresses_obs001_shadowed_by_df002(make_ptp):
+    # pc 0 is a dead write AND unobservable; one finding (DF002) is
+    # enough.
+    report = verify_ptp(make_ptp("""
+        MOV32I R2, 5
+        MOV32I R2, 6
+        GST [R0+0x8000], R2
+        EXIT
+    """))
+    assert [(d.rule, d.pc) for d in report.diagnostics] == [("DF002", 0)]

@@ -1,0 +1,86 @@
+"""Acceptance: every seed generator's PTP lints with zero errors, and
+targeted mutations of clean seeds trip exactly the intended rule."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.isa.instruction import Program
+from repro.isa.opcodes import Op
+from repro.stl import (generate_cntrl, generate_imm, generate_mem,
+                       generate_rand)
+from repro.stl.generators.atpg_based import generate_sfu_imm, generate_tpgen
+from repro.stl.signature import SIG_REG
+from repro.verify import verify_ptp
+
+
+@pytest.mark.parametrize("generate", [
+    lambda: generate_imm(seed=4, num_sbs=10),
+    lambda: generate_mem(seed=4, num_sbs=10),
+    lambda: generate_cntrl(seed=4, num_sbs=6),
+    lambda: generate_rand(seed=4, num_sbs=10),
+], ids=["imm", "mem", "cntrl", "rand"])
+def test_pseudorandom_seed_ptps_have_zero_errors(generate):
+    report = verify_ptp(generate())
+    assert report.ok, report.render_text()
+
+
+def test_atpg_seed_ptps_have_zero_errors(sp_module, sfu_module):
+    tpgen, _ = generate_tpgen(sp_module, atpg_random_patterns=32,
+                              atpg_max_backtracks=4)
+    report = verify_ptp(tpgen)
+    assert report.ok, report.render_text()
+    sfu, _ = generate_sfu_imm(sfu_module, atpg_random_patterns=32,
+                              atpg_max_backtracks=3)
+    report = verify_ptp(sfu)
+    assert report.ok, report.render_text()
+
+
+def test_dropping_a_definition_fires_df001():
+    ptp = generate_rand(seed=4, num_sbs=6)
+    instrs = list(ptp.program)
+    baseline = len(verify_ptp(ptp).by_rule("DF001"))
+    # pc 2 defines a pool register whose value is read downstream and
+    # has no earlier definition; removing it orphans the read.
+    assert instrs[2].op is Op.MOV32I
+    mutated = ptp.with_program(Program(instrs[:2] + instrs[3:]))
+    report = verify_ptp(mutated)
+    assert len(report.by_rule("DF001")) > baseline
+
+
+def test_deleting_signature_flush_fires_obs002():
+    ptp = generate_rand(seed=4, num_sbs=6)
+    assert ptp.uses_signature
+    instrs = list(ptp.program)
+    flush = {pc for pc, instr in enumerate(instrs)
+             if instr.op is Op.GST and instr.src_b == SIG_REG}
+    assert flush
+    mutated = ptp.with_program(
+        Program([i for pc, i in enumerate(instrs) if pc not in flush]))
+    report = verify_ptp(mutated)
+    assert "OBS002" in report.rule_ids
+    assert not report.ok
+
+
+def test_orphaning_operand_arrays_fires_mem002():
+    ptp = generate_mem(seed=4, num_sbs=6)
+    instrs = list(ptp.program)
+    glds = {pc for pc, instr in enumerate(instrs) if instr.op is Op.GLD}
+    assert glds
+    mutated = ptp.with_program(
+        Program([i for pc, i in enumerate(instrs) if pc not in glds]))
+    report = verify_ptp(mutated)
+    assert "MEM002" in report.rule_ids
+
+
+def test_retargeting_a_branch_out_of_range_fires_cfg001():
+    ptp = generate_cntrl(seed=4, num_sbs=6)
+    instrs = list(ptp.program)
+    branches = [pc for pc, instr in enumerate(instrs)
+                if instr.op is Op.BRA]
+    assert branches
+    pc = branches[0]
+    instrs[pc] = replace(instrs[pc], target=len(instrs) + 50)
+    report = verify_ptp(ptp.with_program(Program(instrs)))
+    assert report.rule_ids == {"CFG001"}
+    assert not report.ok
