@@ -142,11 +142,13 @@ def cmd_compact(args):
     ptp = load_ptp(args.ptp_dir)
     module = _build_module(ptp.target, args.width)
     jobs, cache, metrics = _exec_options(args)
-    pipeline = CompactionPipeline(module, jobs=jobs, cache=cache,
-                                  metrics=metrics, engine=args.engine,
-                                  verify=args.verify)
-    outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
-                               evaluate=not args.no_evaluate)
+    with CompactionPipeline(module, jobs=jobs, cache=cache,
+                            metrics=metrics, engine=args.engine,
+                            verify=args.verify,
+                            chunk_size=args.chunk_size,
+                            pool=not args.no_pool) as pipeline:
+        outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
+                                   evaluate=not args.no_evaluate)
     save_ptp(outcome.compacted, args.out)
     print(write_compaction_summary(outcome))
     if outcome.verification is not None and outcome.verification.diagnostics:
@@ -195,6 +197,8 @@ def cmd_campaign(args):
         metrics=metrics,
         engine=args.engine,
         verify=args.verify,
+        chunk_size=args.chunk_size,
+        pool=not args.no_pool,
     )
     for report in reports:
         print(write_campaign_summary(report))
@@ -248,6 +252,14 @@ def _add_exec_arguments(parser):
                        help="fault-simulation worker processes (default: "
                             "$REPRO_JOBS or the CPU count; results are "
                             "bit-identical at any job count)")
+    group.add_argument("--chunk-size", type=int, default=None, metavar="F",
+                       help="faults per streamed worker-pool chunk "
+                            "(default: dynamic, about 4 chunks per "
+                            "worker)")
+    group.add_argument("--no-pool", action="store_true",
+                       help="disable the persistent worker pool (every "
+                            "fault simulation runs inline, whatever "
+                            "--jobs says)")
     group.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="artifact cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")

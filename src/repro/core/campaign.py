@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from ..errors import (CampaignError, CycleBudgetError, PtpFailure,
                       PtpTimeoutError, ReproError)
+from ..exec.scheduler import ShardedFaultScheduler
 from .pipeline import CompactionPipeline
 
 #: Per-PTP campaign statuses (the summary report's vocabulary).
@@ -350,13 +351,18 @@ class CompactionCampaign:
 def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
                      reverse_for=("SFU_IMM",), evaluate=True, jobs=None,
                      cache=None, metrics=None, engine="event",
-                     verify="warn", **kwargs):
+                     verify="warn", scheduler=None, chunk_size=None,
+                     pool=True, **kwargs):
     """Run one campaign per target module of *stl*, sharing a checkpoint.
 
     Modules are processed in order of first appearance in the STL, each
     through its own fresh :class:`CompactionPipeline`; the shared
     checkpoint keys fault-dropping state by module name, so a kill at
-    any PTP boundary resumes every module correctly.
+    any PTP boundary resumes every module correctly.  ONE
+    :class:`~repro.exec.scheduler.ShardedFaultScheduler` (and therefore
+    one persistent worker pool) spans every module and PTP of the
+    campaign — workers are spawned once, primed per netlist context, and
+    torn down when the last module finishes.
 
     Args:
         stl: the :class:`~repro.stl.ptp.SelfTestLibrary` (mutated).
@@ -377,6 +383,12 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
             (``"strict"``/``"warn"``/``"off"``); a strict failure is
             isolated like any other per-PTP error and the diagnostics
             land in the checkpoint.
+        scheduler: optional caller-owned scheduler (the campaign then
+            leaves it open on return); without one a campaign-lifetime
+            scheduler is built from *jobs*/*chunk_size*/*pool* and closed
+            in a ``finally``.
+        chunk_size: faults per streamed pool chunk (None: dynamic).
+        pool: False disables the worker pool (every run inline).
         **kwargs: forwarded to every :class:`CompactionCampaign`.
 
     Returns:
@@ -390,13 +402,22 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
     if missing:
         raise CampaignError("no module build for target(s) {}".format(
             ", ".join(sorted(missing))))
+    owns_scheduler = scheduler is None
+    if owns_scheduler:
+        scheduler = ShardedFaultScheduler(jobs=jobs, metrics=metrics,
+                                          chunk_size=chunk_size, pool=pool)
     reports = []
-    for target in targets:
-        campaign = CompactionCampaign(
-            CompactionPipeline(modules[target], gpu=gpu, jobs=jobs,
-                               cache=cache, metrics=metrics, engine=engine,
-                               verify=verify),
-            checkpoint=checkpoint, **kwargs)
-        reports.append(campaign.run(stl, reverse_for=reverse_for,
-                                    evaluate=evaluate, resume=resume))
+    try:
+        for target in targets:
+            campaign = CompactionCampaign(
+                CompactionPipeline(modules[target], gpu=gpu, jobs=jobs,
+                                   cache=cache, metrics=metrics,
+                                   engine=engine, verify=verify,
+                                   scheduler=scheduler),
+                checkpoint=checkpoint, **kwargs)
+            reports.append(campaign.run(stl, reverse_for=reverse_for,
+                                        evaluate=evaluate, resume=resume))
+    finally:
+        if owns_scheduler:
+            scheduler.close()
     return reports

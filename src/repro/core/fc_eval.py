@@ -68,7 +68,10 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
         scheduler: optional
             :class:`~repro.exec.scheduler.ShardedFaultScheduler` for the
             module-observability fault simulation (the signature fold is
-            sequential — its per-thread MISR state does not shard).
+            sequential — its per-thread MISR state does not shard).  A
+            campaign-shared scheduler reuses its already-primed worker
+            pool here; evaluation always simulates the *full* fault list,
+            so broadcast drop-skipping never applies to it.
         metrics: optional :class:`~repro.exec.metrics.RunMetrics`.
         engine: fault-propagation engine (``"event"``/``"cone"``); results
             are bit-identical either way.

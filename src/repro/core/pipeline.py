@@ -125,6 +125,18 @@ class CompactionPipeline:
         engine: stage-3/5 fault-propagation engine, ``"event"`` (default)
             or ``"cone"`` — bit-identical results either way (see
             :mod:`repro.faults.propagate`).
+        scheduler: optional shared
+            :class:`~repro.exec.scheduler.ShardedFaultScheduler` — a
+            campaign passes one scheduler to every per-module pipeline so
+            the worker pool (and its primed netlist/pattern state)
+            persists across modules and PTPs.  The caller that built the
+            scheduler owns its lifetime; without one the pipeline builds
+            its own from *jobs*/*chunk_size*/*pool* and :meth:`close`
+            shuts it down.
+        chunk_size: faults per streamed pool chunk (None: dynamic);
+            ignored when *scheduler* is given.
+        pool: False forces every fault simulation inline (the CLI's
+            ``--no-pool``); ignored when *scheduler* is given.
         verify: static-verification gate on the reduced PTP, run between
             stage 4 and stage 5 (:func:`repro.verify.verify_compaction`):
             ``"warn"`` (default) records the diagnostics on the outcome,
@@ -135,7 +147,8 @@ class CompactionPipeline:
     """
 
     def __init__(self, module, gpu=None, collapse=True, jobs=None,
-                 cache=None, metrics=None, engine="event", verify="warn"):
+                 cache=None, metrics=None, engine="event", verify="warn",
+                 scheduler=None, chunk_size=None, pool=True):
         if verify not in VERIFY_MODES:
             raise CompactionError(
                 "verify must be one of {}, got {!r}".format(
@@ -149,13 +162,32 @@ class CompactionPipeline:
         self.engine = engine
         self.cache = cache
         self.metrics = metrics
-        self.scheduler = ShardedFaultScheduler(jobs=jobs, metrics=metrics)
+        if scheduler is not None:
+            self.scheduler = scheduler
+            self._owns_scheduler = False
+        else:
+            self.scheduler = ShardedFaultScheduler(
+                jobs=jobs, metrics=metrics, chunk_size=chunk_size,
+                pool=pool)
+            self._owns_scheduler = True
         self.outcomes = []
 
     @property
     def jobs(self):
         """Resolved stage-3 worker process count (1 = sequential)."""
         return self.scheduler.jobs
+
+    def close(self):
+        """Shut down the pipeline's worker pool.  No-op when the
+        scheduler was passed in (the owner closes it)."""
+        if self._owns_scheduler:
+            self.scheduler.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
 
     def _timed(self, stage):
         """Stage-timer context (no-op without a metrics object)."""
@@ -220,7 +252,8 @@ class CompactionPipeline:
                        else self.fault_report.full_list)
         with self._timed("fault_simulation"):
             fault_result = self.scheduler.run(self.simulator, patterns,
-                                              target_list)
+                                              target_list,
+                                              skip_dropped=dropping)
         labeled = label_instructions(ptp, tracing.trace, report,
                                      fault_result)
         # Stage 4: reduction.
@@ -259,8 +292,13 @@ class CompactionPipeline:
                     report=verification)
 
         if dropping:
-            dropped = self.fault_report.drop(fault_result.detected_faults,
-                                             ptp.name)
+            dropped, drop_records = self.fault_report.drop_result(
+                fault_result, ptp.name)
+            # Publish the drops to the worker pool: later skip_dropped
+            # runs (this module's next PTPs) never re-simulate them, with
+            # detection credit staying attributed exactly as the report
+            # recorded it.
+            self.scheduler.broadcast_drops(self.simulator, drop_records)
         else:
             dropped = 0
 

@@ -3,9 +3,12 @@
 The exec subsystem makes compaction campaigns fast without changing what
 they compute:
 
-* :mod:`repro.exec.scheduler` — shards stage-3 fault simulation across a
-  process pool and merges per-shard results bit-identically to the
-  sequential run;
+* :mod:`repro.exec.scheduler` — streams stage-3 fault chunks through a
+  campaign-lifetime worker pool and merges the results bit-identically
+  to the sequential run;
+* :mod:`repro.exec.pool` — the persistent worker pool itself: one-shot
+  netlist/pattern priming per worker, dynamic chunk sizing, fault-drop
+  broadcast, and death/poison recovery;
 * :mod:`repro.exec.cache` — content-addressed on-disk memoization of
   stage-2 tracing artifacts (SHA-256 keys over PTP content, GPU config,
   module fingerprint, stage name) with atomic writes and an LRU cap;
@@ -17,6 +20,7 @@ they compute:
 from .cache import (ArtifactCache, cached_logic_tracing, default_cache_dir,
                     module_fingerprint)
 from .metrics import RunMetrics
+from .pool import WorkerPool
 from .scheduler import (JOBS_ENV, ShardedFaultScheduler, resolve_jobs,
                         run_sharded, shard_bounds)
 
@@ -26,6 +30,7 @@ __all__ = [
     "default_cache_dir",
     "module_fingerprint",
     "RunMetrics",
+    "WorkerPool",
     "JOBS_ENV",
     "ShardedFaultScheduler",
     "resolve_jobs",

@@ -11,7 +11,10 @@ campaign and records:
 * artifact-cache hit/miss/put/eviction counts;
 * shard utilization — the fraction of the scheduler's wall-clock budget
   (jobs x elapsed) that shards spent simulating, averaged over sharded
-  runs (1.0 = perfectly balanced shards with zero pool overhead).
+  runs (1.0 = perfectly balanced shards with zero pool overhead);
+* worker-pool gauges — workers spawned/died, per-worker context and
+  pattern priming, chunks dispatched/requeued/inlined, drop records
+  broadcast/shipped/skipped, and cumulative worker-init seconds.
 
 The document is JSON-serializable (:meth:`RunMetrics.to_dict`), persists
 atomically next to the campaign checkpoint (:meth:`RunMetrics.save`, same
@@ -28,7 +31,7 @@ import time
 from contextlib import contextmanager
 
 #: Bumped whenever the metrics JSON layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 class RunMetrics:
@@ -45,6 +48,7 @@ class RunMetrics:
         self.fault_sim_runs = []
         self.cache = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0}
         self.counters = {}
+        self.pool = {}
 
     # -- stage timing ----------------------------------------------------
 
@@ -64,7 +68,8 @@ class RunMetrics:
 
     def record_fault_sim(self, faults, patterns, seconds, jobs=1,
                          shard_busy_seconds=None, engine=None,
-                         gates_evaluated=None, gates_skipped=None):
+                         gates_evaluated=None, gates_skipped=None,
+                         chunks=None):
         """Record one fault-simulation run.
 
         Args:
@@ -72,13 +77,14 @@ class RunMetrics:
             patterns: number of applied patterns.
             seconds: wall time of the run.
             jobs: worker processes used (1 = sequential/inline).
-            shard_busy_seconds: per-shard busy times (sharded runs only);
+            shard_busy_seconds: per-chunk busy times (pooled runs only);
                 utilization = sum(busy) / (jobs * wall).
             engine: propagation engine name (``"event"``/``"cone"``).
             gates_evaluated: gate evaluations spent propagating faults.
             gates_skipped: static-cone gates the engine never touched
                 (the event engine's trimmed execution redundancy; 0 for
                 the cone walk).
+            chunks: streamed chunk count (pooled runs only).
         """
         run = {
             "faults": faults,
@@ -95,6 +101,8 @@ class RunMetrics:
             run["gates_evaluated"] = gates_evaluated
         if gates_skipped is not None:
             run["gates_skipped"] = gates_skipped
+        if chunks is not None:
+            run["chunks"] = chunks
         if shard_busy_seconds is not None:
             busy = sum(shard_busy_seconds)
             run["shards"] = len(shard_busy_seconds)
@@ -119,6 +127,17 @@ class RunMetrics:
     def bump(self, counter, amount=1):
         """Increment a free-form named counter."""
         self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    # -- worker-pool gauges ----------------------------------------------
+
+    def record_pool_event(self, event, amount=1):
+        """Count one worker-pool event (``workers_spawned``,
+        ``chunks_dispatched``, ``drops_broadcast``, ...)."""
+        self.pool[event] = self.pool.get(event, 0) + amount
+
+    def record_pool_seconds(self, gauge, seconds):
+        """Accumulate a pool time gauge (``worker_init_seconds``)."""
+        self.pool[gauge] = self.pool.get(gauge, 0.0) + seconds
 
     def record_verification(self, errors, warnings):
         """Count one static-verifier run and its diagnostic totals."""
@@ -183,6 +202,7 @@ class RunMetrics:
             },
             "cache": dict(self.cache),
             "counters": dict(self.counters),
+            "pool": dict(self.pool),
         }
 
     def save(self, path):
@@ -249,4 +269,13 @@ class RunMetrics:
                          self.cache.get("misses", 0),
                          self.cache.get("puts", 0),
                          self.cache.get("evictions", 0)))
+        lines.append("  worker pool       : {} spawned, {} death(s), "
+                     "{} chunk(s), {} requeue(d), {} drop(s) broadcast, "
+                     "{} drop-skip(s)".format(
+                         self.pool.get("workers_spawned", 0),
+                         self.pool.get("worker_deaths", 0),
+                         self.pool.get("chunks_dispatched", 0),
+                         self.pool.get("chunks_requeued", 0),
+                         self.pool.get("drops_broadcast", 0),
+                         self.pool.get("drops_skipped", 0)))
         return "\n".join(lines)

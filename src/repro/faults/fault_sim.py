@@ -156,6 +156,7 @@ class FaultSimulator:
         self._observed_targets = frozenset(self.observed)
         self._good_cache = (None, None)
         self._targets_cache = (None, None)
+        self._good_values_cache = (None, None)
         self.stats = {"gates_evaluated": 0, "gates_visited": 0,
                       "gates_skipped": 0, "faults_inactive": 0,
                       "faults_pruned": 0}
@@ -186,6 +187,18 @@ class FaultSimulator:
             self._targets_cache = (observed_set, cached_frozen)
         return cached_frozen
 
+    def good_values(self, patterns):
+        """Good-machine net values for *patterns*, memoized on the pattern
+        set's identity (the cache holds a strong reference, so the identity
+        stays valid).  Chunk-resumable runs lean on this: a pooled worker
+        simulating many fault chunks of one pattern set pays the logic
+        simulation once, not once per chunk."""
+        cached_patterns, cached_good = self._good_values_cache
+        if cached_patterns is not patterns:
+            cached_good = self._logic.run(patterns)
+            self._good_values_cache = (patterns, cached_good)
+        return cached_good
+
     def run(self, patterns, fault_list=None):
         """Simulate *fault_list* (default: full collapsed list) over
         *patterns* and return a :class:`FaultSimResult`."""
@@ -196,7 +209,7 @@ class FaultSimulator:
             return FaultSimResult(fault_list, 0, empty,
                                   [None] * len(fault_list))
         mask = patterns.mask
-        good = self._logic.run(patterns)
+        good = self.good_values(patterns)
         observed_set = set(self.observed)
 
         if self.engine == "event":
@@ -294,7 +307,7 @@ class FaultSimulator:
         """
         width = misr_width or len(result_word)
         mask = patterns.mask
-        good = self._logic.run(patterns)
+        good = self.good_values(patterns)
         observed_set = set(self.observed)
 
         # The MISR masks every folded result to `width` bits

@@ -1,0 +1,230 @@
+"""Worker pool: persistence, drop broadcast, death recovery, poison.
+
+The soak-style tests here kill workers (idle and mid-run) and feed the
+pool a poisoned chunk, asserting the merged results stay bit-identical to
+the sequential run and the pool remains usable afterwards — the scheduler
+layer's fault isolation must never corrupt a FaultListReport.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.core.tracing import run_logic_tracing
+from repro.errors import SchedulerError
+from repro.exec import RunMetrics, ShardedFaultScheduler, WorkerPool
+from repro.faults import FaultList, FaultSimulator, OUTPUT_PIN, StuckAtFault
+from repro.faults.dropping import FaultListReport
+from repro.stl import generate_imm
+
+
+@pytest.fixture(scope="module")
+def workload(du_module):
+    """(simulator, patterns, fault_list) for one decoder-unit PTP."""
+    ptp = generate_imm(seed=3, num_sbs=4)
+    tracing = run_logic_tracing(ptp, du_module)
+    patterns = tracing.pattern_report.to_pattern_set()
+    return (FaultSimulator(du_module.netlist), patterns,
+            FaultList(du_module.netlist))
+
+
+# -- persistence ------------------------------------------------------------
+
+def test_workers_and_priming_persist_across_runs(workload):
+    simulator, patterns, fault_list = workload
+    sequential = simulator.run(patterns, fault_list)
+    metrics = RunMetrics()
+    with WorkerPool(2, metrics=metrics) as pool:
+        for __ in range(3):
+            words, firsts, busy, stats, skipped = pool.simulate(
+                simulator, patterns, fault_list)
+            assert words == sequential.detection_words
+            assert firsts == sequential.first_detection
+            assert skipped == 0
+    # Spawned once, primed once per worker — not once per run.
+    assert metrics.pool["workers_spawned"] == 2
+    assert metrics.pool["contexts_shipped"] == 2
+    assert metrics.pool["patterns_shipped"] == 2
+    assert metrics.pool["worker_init_events"] == 2
+    assert metrics.pool["worker_init_seconds"] > 0.0
+
+
+def test_broadcast_drops_skip_without_stealing_attribution(workload):
+    simulator, patterns, fault_list = workload
+    sequential = simulator.run(patterns, fault_list)
+    detected = [(fault, first)
+                for fault, first in zip(fault_list,
+                                        sequential.first_detection)
+                if first is not None]
+    assert detected, "workload must detect something"
+    metrics = RunMetrics()
+    with WorkerPool(2, metrics=metrics) as pool:
+        added = pool.broadcast_drops(simulator, detected[:10])
+        assert added == 10
+        # Re-broadcast is first-writer-wins: nothing new.
+        assert pool.broadcast_drops(simulator, detected[:10]) == 0
+        words, firsts, __, __, skipped = pool.simulate(
+            simulator, patterns, fault_list, skip_dropped=True)
+        dropped = {fault for fault, __ in detected[:10]}
+        for i, fault in enumerate(fault_list):
+            if fault in dropped:
+                # A skipped fault reports undetected — its detection
+                # credit stays with the PTP that dropped it.
+                assert words[i] == 0 and firsts[i] is None
+            else:
+                assert words[i] == sequential.detection_words[i]
+                assert firsts[i] == sequential.first_detection[i]
+        assert skipped == 10
+        # Without opting in, broadcast drops change nothing.
+        words, firsts, __, __, skipped = pool.simulate(
+            simulator, patterns, fault_list)
+        assert words == sequential.detection_words
+        assert skipped == 0
+    assert metrics.pool["drops_broadcast"] == 10
+
+
+# -- worker death -----------------------------------------------------------
+
+def test_idle_worker_kill_is_respawned_next_run(workload):
+    simulator, patterns, fault_list = workload
+    sequential = simulator.run(patterns, fault_list)
+    metrics = RunMetrics()
+    with WorkerPool(2, metrics=metrics) as pool:
+        words, __, __, __, __ = pool.simulate(simulator, patterns,
+                                              fault_list)
+        assert words == sequential.detection_words
+        victim = pool._workers[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5)
+        words, firsts, __, __, __ = pool.simulate(simulator, patterns,
+                                                  fault_list)
+        assert words == sequential.detection_words
+        assert firsts == sequential.first_detection
+    assert metrics.pool["worker_deaths"] >= 1
+    assert metrics.pool["workers_spawned"] >= 3
+
+
+def test_mid_run_worker_death_requeues_orphans(workload, monkeypatch):
+    """Kill one worker right after it is primed (so its dispatched chunks
+    are orphaned mid-run): the survivor must absorb the requeued chunks
+    and the merge must stay bit-identical."""
+    import repro.exec.pool as pool_mod
+
+    simulator, patterns, fault_list = workload
+    sequential = simulator.run(patterns, fault_list)
+    metrics = RunMetrics()
+    original_prime = pool_mod.WorkerPool._prime
+    killed = []
+
+    def killing_prime(self, worker, context, pats, pat_id):
+        original_prime(self, worker, context, pats, pat_id)
+        if not killed:
+            killed.append(worker.worker_id)
+            os.kill(worker.process.pid, signal.SIGKILL)
+            worker.process.join(timeout=5)
+
+    monkeypatch.setattr(pool_mod.WorkerPool, "_prime", killing_prime)
+    with WorkerPool(2, metrics=metrics) as pool:
+        words, firsts, __, __, __ = pool.simulate(
+            simulator, patterns, fault_list, chunk_size=16)
+    assert killed, "the kill hook never fired"
+    assert words == sequential.detection_words
+    assert firsts == sequential.first_detection
+    assert metrics.pool["worker_deaths"] >= 1
+    assert metrics.pool["chunks_requeued"] >= 1
+
+
+def test_every_worker_dead_finishes_inline(workload):
+    """With no survivors the parent simulates the rest itself — the run
+    completes (venue changes, result doesn't) instead of hanging."""
+    simulator, patterns, fault_list = workload
+    sequential = simulator.run(patterns, fault_list)
+    metrics = RunMetrics()
+    with WorkerPool(1, metrics=metrics) as pool:
+        words, __, __, __, __ = pool.simulate(simulator, patterns,
+                                              fault_list)
+        assert words == sequential.detection_words
+        os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+        pool._workers[0].process.join(timeout=5)
+        # Keep the pool from respawning so the inline path is forced.
+        pool.target_workers = 0
+        words, firsts, __, __, __ = pool.simulate(simulator, patterns,
+                                                  fault_list)
+    assert words == sequential.detection_words
+    assert firsts == sequential.first_detection
+    assert metrics.pool["chunks_inline"] >= 1
+
+
+# -- poisoned chunks --------------------------------------------------------
+
+def _poison(netlist):
+    """A structurally valid-looking fault whose net does not exist — it
+    crashes any engine that simulates it, on any worker."""
+    return StuckAtFault(net=netlist.num_nets + 1000, gate=None,
+                        pin=OUTPUT_PIN, stuck_at=1)
+
+
+def test_poisoned_chunk_raises_scheduler_error_and_pool_survives(workload):
+    simulator, patterns, fault_list = workload
+    sequential = simulator.run(patterns, fault_list)
+    poisoned = FaultList(simulator.netlist,
+                         list(fault_list)[:40] + [_poison(simulator.netlist)])
+    metrics = RunMetrics()
+    with ShardedFaultScheduler(jobs=2, min_faults_per_shard=1,
+                               metrics=metrics) as scheduler:
+        with pytest.raises(SchedulerError):
+            scheduler.run(simulator, patterns, poisoned)
+        # Retried on another worker, then failed inline too.
+        assert metrics.pool["chunk_errors"] >= 2
+        assert metrics.pool["chunks_requeued"] >= 1
+        # The pool is still usable and still exact afterwards.
+        result = scheduler.run(simulator, patterns, fault_list)
+        assert result.detection_words == sequential.detection_words
+        assert result.first_detection == sequential.first_detection
+
+
+def test_poisoned_chunk_failure_does_not_corrupt_fault_report(workload):
+    """Campaign-style soak: PTP 1 drops normally, PTP 2's simulation hits
+    a poisoned chunk and fails — the report must still hold exactly PTP
+    1's drops, and PTP 3 must then simulate as if PTP 2 never happened."""
+    simulator, patterns, __ = workload
+    report = FaultListReport(simulator.netlist)
+    with ShardedFaultScheduler(jobs=2, min_faults_per_shard=1,
+                               metrics=RunMetrics()) as scheduler:
+        first = scheduler.run(simulator, patterns, report.remaining,
+                              skip_dropped=True)
+        __, records = report.drop_result(first, "PTP1")
+        scheduler.broadcast_drops(simulator, records)
+        fingerprint = report.fingerprint()
+
+        poisoned = FaultList(simulator.netlist,
+                             list(report.remaining)[:20]
+                             + [_poison(simulator.netlist)])
+        with pytest.raises(SchedulerError):
+            scheduler.run(simulator, patterns, poisoned)
+        # Isolation: the failed simulation left no trace in the report.
+        assert report.fingerprint() == fingerprint
+
+        third = scheduler.run(simulator, patterns, report.remaining,
+                              skip_dropped=True)
+        reference = simulator.run(patterns, report.remaining)
+        assert third.detection_words == reference.detection_words
+        assert third.first_detection == reference.first_detection
+
+
+# -- scheduler-level switches ----------------------------------------------
+
+def test_no_pool_and_single_job_run_inline(workload):
+    simulator, patterns, fault_list = workload
+    sequential = simulator.run(patterns, fault_list)
+    for scheduler in (ShardedFaultScheduler(jobs=1, metrics=RunMetrics()),
+                      ShardedFaultScheduler(jobs=4, pool=False,
+                                            metrics=RunMetrics())):
+        with scheduler:
+            assert scheduler.broadcast_drops(simulator, []) == 0
+            result = scheduler.run(simulator, patterns, fault_list)
+            assert result.detection_words == sequential.detection_words
+            assert scheduler._pool is None, "no pool may be constructed"
+        (run,) = scheduler.metrics.fault_sim_runs
+        assert run["jobs"] == 1

@@ -37,6 +37,9 @@ def test_shard_bounds_cover_exactly_once():
 
 
 def test_resolve_jobs_env_and_validation(monkeypatch):
+    import repro.exec.scheduler as sched_mod
+
+    monkeypatch.setattr(sched_mod.os, "cpu_count", lambda: 8)
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert resolve_jobs(None) == 1
     assert resolve_jobs(None, default=6) == 6
@@ -51,6 +54,24 @@ def test_resolve_jobs_env_and_validation(monkeypatch):
         resolve_jobs(0)
     with pytest.raises(SchedulerError):
         resolve_jobs(-2)
+
+
+def test_resolve_jobs_clamps_to_inline_on_one_cpu(monkeypatch):
+    """Regression: on a 1-CPU machine a pool can only lose, so env- and
+    default-resolved job counts short-circuit to the inline path.  An
+    explicit count is still honored (tests and benchmarks deliberately
+    exercise pools on one CPU)."""
+    import repro.exec.scheduler as sched_mod
+
+    monkeypatch.setattr(sched_mod.os, "cpu_count", lambda: 1)
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    assert resolve_jobs(None) == 1
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None, default=6) == 1
+    assert resolve_jobs(4) == 4          # explicit stays explicit
+    # cpu_count() can return None; treat it like one CPU.
+    monkeypatch.setattr(sched_mod.os, "cpu_count", lambda: None)
+    assert resolve_jobs(None, default=2) == 1
 
 
 # -- merge equivalence ------------------------------------------------------
@@ -69,14 +90,17 @@ def test_sharded_result_bit_identical_to_sequential(du_workload, jobs):
 def test_sharded_run_records_metrics(du_workload):
     simulator, patterns, fault_list = du_workload
     metrics = RunMetrics()
-    scheduler = ShardedFaultScheduler(jobs=2, metrics=metrics)
-    scheduler.run(simulator, patterns, fault_list)
+    with ShardedFaultScheduler(jobs=2, metrics=metrics) as scheduler:
+        scheduler.run(simulator, patterns, fault_list)
     (run,) = metrics.fault_sim_runs
     assert run["faults"] == len(fault_list)
     assert run["patterns"] == patterns.count
     assert run["jobs"] == 2
-    assert run["shards"] == 2
-    assert 0.0 < run["shard_utilization"] <= 1.0
+    # Chunk streaming: several chunks per worker, one busy sample each.
+    assert run["chunks"] == run["shards"] >= 2
+    assert run["shard_utilization"] > 0.0
+    assert metrics.pool["workers_spawned"] == 2
+    assert metrics.pool["chunks_dispatched"] >= run["chunks"]
 
 
 def test_small_fault_lists_run_inline(du_workload):
@@ -94,14 +118,21 @@ def test_small_fault_lists_run_inline(du_workload):
 def test_pool_failure_falls_back_inline(du_workload, monkeypatch):
     import repro.exec.scheduler as sched_mod
 
-    def broken_pool(*args, **kwargs):
-        raise OSError("no process spawning in this sandbox")
+    class BrokenPool:
+        def __init__(self, *args, **kwargs):
+            pass
 
-    monkeypatch.setattr(sched_mod, "ProcessPoolExecutor", broken_pool)
+        def simulate(self, *args, **kwargs):
+            raise OSError("no process spawning in this sandbox")
+
+        def close(self):
+            pass
+
+    monkeypatch.setattr(sched_mod, "WorkerPool", BrokenPool)
     simulator, patterns, fault_list = du_workload
     metrics = RunMetrics()
-    scheduler = ShardedFaultScheduler(jobs=4, metrics=metrics)
-    result = scheduler.run(simulator, patterns, fault_list)
+    with ShardedFaultScheduler(jobs=4, metrics=metrics) as scheduler:
+        result = scheduler.run(simulator, patterns, fault_list)
     assert result.first_detection == simulator.run(
         patterns, fault_list).first_detection
     assert metrics.counters["scheduler_inline_fallback"] == 1
@@ -151,3 +182,5 @@ def test_dropping_across_two_ptps_survives_sharding_and_engine(
     assert par_fps == seq_fps
     assert (par_pipeline.fault_report.remaining_faults
             == seq_pipeline.fault_report.remaining_faults)
+    seq_pipeline.close()
+    par_pipeline.close()

@@ -217,6 +217,36 @@ def test_campaign_no_cache_runs_without_cache_dir(tmp_path, capsys):
     assert not os.path.exists(str(tmp_path / "never"))
 
 
+def test_compact_pool_flags(tmp_path, capsys):
+    """--chunk-size streams through a real pool; --no-pool forces the
+    per-run inline path.  Both compact identically."""
+    src_dir = str(tmp_path / "src")
+    main(["generate", "--ptp", "IMM", "--seed", "5", "--sbs", "5",
+          "--out", src_dir])
+    capsys.readouterr()
+    assert main(["compact", "--ptp-dir", src_dir,
+                 "--out", str(tmp_path / "pooled"), "--jobs", "2",
+                 "--chunk-size", "64", "--no-cache",
+                 "--metrics-out", str(tmp_path / "pooled.json")]) == 0
+    assert main(["compact", "--ptp-dir", src_dir,
+                 "--out", str(tmp_path / "inline"), "--jobs", "2",
+                 "--no-pool", "--no-cache",
+                 "--metrics-out", str(tmp_path / "inline.json")]) == 0
+    capsys.readouterr()
+    import json
+
+    pooled = json.loads((tmp_path / "pooled.json").read_text())
+    inline = json.loads((tmp_path / "inline.json").read_text())
+    assert pooled["pool"]["workers_spawned"] == 2
+    assert pooled["pool"]["chunks_dispatched"] >= 2
+    assert inline["pool"] == {}
+    assert all(run["jobs"] == 1 for run in inline["fault_sim"]["runs"])
+    from repro.stl.io import load_ptp as _load
+
+    assert list(_load(str(tmp_path / "pooled")).program) == list(
+        _load(str(tmp_path / "inline")).program)
+
+
 def test_help_documents_exec_flags(capsys):
     for command in ("compact", "campaign"):
         with pytest.raises(SystemExit):
@@ -226,6 +256,8 @@ def test_help_documents_exec_flags(capsys):
         assert "--jobs" in out
         assert "--cache-dir" in out
         assert "--metrics-out" in out
+        assert "--chunk-size" in out
+        assert "--no-pool" in out
 
 
 def test_lint_clean_ptp_exits_0(tmp_path, capsys):
