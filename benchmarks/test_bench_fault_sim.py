@@ -1,12 +1,13 @@
-"""Benchmark: cone-walk vs. event-driven stage-3 fault simulation.
+"""Benchmark: cone-walk vs. event-driven vs. batch stage-3 fault sim.
 
 Times the decoder-unit stuck-at fault simulation (the wall-clock-dominant
-stage of every compaction campaign) over the IMM pattern set, for both
-propagation engines (``cone`` and ``event``), inline and through the
-persistent worker pool at 2 jobs, asserts all configurations stay
-bit-identical, and writes ``BENCH_fault_sim.json`` at the repo root so
-the performance trajectory (patterns/s, faults/s, event-vs-cone speedup,
-pool speedup, gates evaluated vs. skipped) is tracked across PRs.
+stage of every compaction campaign) over the IMM pattern set, for all
+three propagation engines (``cone``, ``event``, ``batch``), inline and
+through the persistent worker pool at 2 jobs, asserts all configurations
+stay bit-identical, and writes ``BENCH_fault_sim.json`` at the repo root
+so the performance trajectory (patterns/s, faults/s, per-engine speedups
+over the sequential cone walk, pool speedup, gates evaluated vs.
+skipped) is tracked across PRs.
 
 The schedulers are long-lived across the timed repeats, so the pooled
 rows measure steady-state chunk-streaming throughput: workers are
@@ -37,7 +38,7 @@ from repro.faults import FaultList, FaultSimulator
 from repro.netlist.modules import build_decoder_unit
 from repro.stl import generate_imm
 
-_ENGINES = ("cone", "event")
+_ENGINES = ("cone", "event", "batch")
 _JOB_COUNTS = (1, 2)
 _OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                          os.pardir, "BENCH_fault_sim.json")
@@ -98,6 +99,7 @@ def test_bench_cone_vs_event_fault_sim():
                     "faults_per_second": len(fault_list) / seconds,
                     "gates_evaluated": last.get("gates_evaluated"),
                     "gates_skipped": last.get("gates_skipped"),
+                    "batches": last.get("batches"),
                     "chunks": last.get("chunks"),
                     "shard_utilization": last.get("shard_utilization"),
                     "inline_fallback": bool(
@@ -113,6 +115,7 @@ def test_bench_cone_vs_event_fault_sim():
     for row in rows:
         row["speedup_vs_cone_1job"] = cone_sequential / row["seconds"]
     event_speedup = by_config[("event", 1)]["speedup_vs_cone_1job"]
+    batch_speedup = by_config[("batch", 1)]["speedup_vs_cone_1job"]
     pool_event_speedup = (by_config[("event", 1)]["seconds"]
                           / by_config[("event", 2)]["seconds"])
     gates_skipped = by_config[("event", 1)]["gates_skipped"]
@@ -128,6 +131,7 @@ def test_bench_cone_vs_event_fault_sim():
         "cpu_count": os.cpu_count(),
         "strict": strict,
         "event_speedup_sequential": event_speedup,
+        "batch_speedup_vs_cone_1job": batch_speedup,
         "pool_event_speedup_2jobs": pool_event_speedup,
         "pool": pool_gauges,
         "runs": rows,
@@ -155,6 +159,9 @@ def test_bench_cone_vs_event_fault_sim():
     # it must actually have skipped dead-cone work.
     assert gates_skipped and gates_skipped > 0
     assert by_config[("cone", 1)]["gates_skipped"] == 0
+    # The batch engine really batched (the counter only moves on compiled
+    # batch evaluations).
+    assert by_config[("batch", 1)]["batches"] > 0
     # Pooled rows really went through the pool (workers + chunks), and
     # never silently fell back inline.
     assert pool_gauges.get("workers_spawned", 0) >= 2
@@ -169,6 +176,9 @@ def test_bench_cone_vs_event_fault_sim():
         assert event_speedup > 1.2, (
             "event engine regressed to x{:.2f} vs cone".format(
                 event_speedup))
+        assert batch_speedup >= 5.0, (
+            "batch engine only x{:.2f} vs sequential cone (needs >= 5)"
+            .format(batch_speedup))
         if (os.cpu_count() or 1) >= 2:
             assert pool_event_speedup >= 1.2, (
                 "2-job pool only x{:.2f} vs sequential event on a "

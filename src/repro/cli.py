@@ -269,11 +269,12 @@ def _add_exec_arguments(parser):
     group.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the run-metrics JSON here (campaign "
                             "default: metrics.json next to the checkpoint)")
-    group.add_argument("--engine", choices=("event", "cone"),
+    group.add_argument("--engine", choices=("event", "cone", "batch"),
                        default="event",
                        help="fault-propagation engine (default: event; "
-                            "results are bit-identical, the cone walk is "
-                            "the slower reference)")
+                            "results are bit-identical across all three: "
+                            "the cone walk is the slower reference, batch "
+                            "is the vectorized numpy backend)")
     group.add_argument("--verify", choices=("strict", "warn", "off"),
                        default="warn",
                        help="static verification of the reduced PTP "

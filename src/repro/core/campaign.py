@@ -378,7 +378,7 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
             :class:`~repro.exec.metrics.RunMetrics` accumulating over
             the whole multi-module campaign.
         engine: fault-propagation engine for every per-module pipeline
-            (``"event"``/``"cone"``; bit-identical results).
+            (``"event"``/``"cone"``/``"batch"``; bit-identical results).
         verify: static-verification mode for every per-module pipeline
             (``"strict"``/``"warn"``/``"off"``); a strict failure is
             isolated like any other per-PTP error and the diagnostics

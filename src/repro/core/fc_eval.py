@@ -73,8 +73,8 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
             pool here; evaluation always simulates the *full* fault list,
             so broadcast drop-skipping never applies to it.
         metrics: optional :class:`~repro.exec.metrics.RunMetrics`.
-        engine: fault-propagation engine (``"event"``/``"cone"``); results
-            are bit-identical either way.
+        engine: fault-propagation engine (``"event"``/``"cone"``/
+            ``"batch"``); results are bit-identical either way.
 
     Returns:
         An :class:`FcEvaluation`.

@@ -122,9 +122,10 @@ class CompactionPipeline:
             memoizing stage-2 tracing artifacts across runs.
         metrics: optional :class:`~repro.exec.metrics.RunMetrics`
             accumulating stage timings, throughput, and cache counters.
-        engine: stage-3/5 fault-propagation engine, ``"event"`` (default)
-            or ``"cone"`` — bit-identical results either way (see
-            :mod:`repro.faults.propagate`).
+        engine: stage-3/5 fault-propagation engine, ``"event"`` (default),
+            ``"cone"``, or the vectorized ``"batch"`` — bit-identical
+            results either way (see :mod:`repro.faults.propagate` and
+            :mod:`repro.faults.batch`).
         scheduler: optional shared
             :class:`~repro.exec.scheduler.ShardedFaultScheduler` — a
             campaign passes one scheduler to every per-module pipeline so

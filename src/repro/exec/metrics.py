@@ -69,7 +69,7 @@ class RunMetrics:
     def record_fault_sim(self, faults, patterns, seconds, jobs=1,
                          shard_busy_seconds=None, engine=None,
                          gates_evaluated=None, gates_skipped=None,
-                         chunks=None):
+                         chunks=None, batches=None):
         """Record one fault-simulation run.
 
         Args:
@@ -79,12 +79,14 @@ class RunMetrics:
             jobs: worker processes used (1 = sequential/inline).
             shard_busy_seconds: per-chunk busy times (pooled runs only);
                 utilization = sum(busy) / (jobs * wall).
-            engine: propagation engine name (``"event"``/``"cone"``).
+            engine: propagation engine name
+                (``"event"``/``"cone"``/``"batch"``).
             gates_evaluated: gate evaluations spent propagating faults.
             gates_skipped: static-cone gates the engine never touched
                 (the event engine's trimmed execution redundancy; 0 for
                 the cone walk).
             chunks: streamed chunk count (pooled runs only).
+            batches: compiled fault batches evaluated (batch engine only).
         """
         run = {
             "faults": faults,
@@ -103,6 +105,8 @@ class RunMetrics:
             run["gates_skipped"] = gates_skipped
         if chunks is not None:
             run["chunks"] = chunks
+        if batches is not None:
+            run["batches"] = batches
         if shard_busy_seconds is not None:
             busy = sum(shard_busy_seconds)
             run["shards"] = len(shard_busy_seconds)
@@ -180,6 +184,11 @@ class RunMetrics:
         return sum(run.get("gates_skipped") or 0
                    for run in self.fault_sim_runs)
 
+    @property
+    def total_batches(self):
+        return sum(run.get("batches") or 0
+                   for run in self.fault_sim_runs)
+
     # -- serialization ---------------------------------------------------
 
     def to_dict(self):
@@ -199,6 +208,7 @@ class RunMetrics:
                 "mean_shard_utilization": self.mean_shard_utilization(),
                 "total_gates_evaluated": self.total_gates_evaluated,
                 "total_gates_skipped": self.total_gates_skipped,
+                "total_batches": self.total_batches,
             },
             "cache": dict(self.cache),
             "counters": dict(self.counters),
@@ -258,6 +268,7 @@ class RunMetrics:
             else "{:.0%}".format(utilization)))
         lines.append("  gates eval/skip   : {} / {}".format(
             self.total_gates_evaluated, self.total_gates_skipped))
+        lines.append("  fault batches     : {}".format(self.total_batches))
         lines.append("  verify            : {} run(s), {} error(s), "
                      "{} warning(s)".format(
                          self.counters.get("verify.runs", 0),

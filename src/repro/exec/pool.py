@@ -411,13 +411,19 @@ class WorkerPool:
 
     def _pattern_id(self, context, patterns):
         """Stable id of *patterns* within *context* (strong ref pins the
-        object so Python cannot recycle its id for a different set)."""
+        object so Python cannot recycle its id for a different set; the
+        mutation version guards against the same set object being grown
+        through ``add``/``add_words`` after priming — a stale version
+        gets a fresh id, so workers are re-primed with current packed
+        words instead of simulating the truncated snapshot)."""
+        version = getattr(patterns, "version", 0)
         entry = context.patterns.get(id(patterns))
         if entry is not None and entry[0] is patterns \
-                and entry[2] == patterns.count:
+                and entry[2] == patterns.count and entry[3] == version:
             return entry[1]
         pat_id = next(self._ids)
-        context.patterns[id(patterns)] = (patterns, pat_id, patterns.count)
+        context.patterns[id(patterns)] = (patterns, pat_id, patterns.count,
+                                          version)
         return pat_id
 
     def _prime(self, worker, context, patterns, pat_id):
@@ -466,6 +472,12 @@ class WorkerPool:
         if size is None:
             target = max(1, len(workers) * chunks_per_worker)
             size = max(MIN_AUTO_CHUNK, -(-total // target))
+            # The batch engine simulates whole fixed-width row batches;
+            # rounding auto-sized chunks up to that quantum keeps pooled
+            # chunks from ending in padded partial batches.
+            quantum = getattr(simulator, "batch_rows", None)
+            if quantum:
+                size = -(-size // quantum) * quantum
         jobs = {}
         for start in range(0, total, size):
             job = _Job(next(self._ids), start, entries[start:start + size])

@@ -236,7 +236,8 @@ class ShardedFaultScheduler:
             seconds=seconds, jobs=jobs, shard_busy_seconds=shard_busy,
             engine=engine, chunks=chunks,
             gates_evaluated=stats.get("gates_evaluated"),
-            gates_skipped=stats.get("gates_skipped"))
+            gates_skipped=stats.get("gates_skipped"),
+            batches=stats.get("batches"))
 
 
 def run_sharded(simulator, patterns, fault_list=None, jobs=None,

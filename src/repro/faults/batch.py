@@ -1,0 +1,545 @@
+"""Vectorized fault-batch simulation (the ``engine="batch"`` backend).
+
+The cone and event engines both pay the Python interpreter once per gate
+per fault.  This module compiles the work into flat numpy programs instead
+(the GATSPI/CCSS idea scaled down to word-ops): faults are clustered into
+*batches* of up to :data:`DEFAULT_ROWS` rows, the union of the batch's
+fanout cones is compiled once into per-(level, opcode) **waves** of fused
+array operations, and one pass over those waves simulates every fault of
+the batch simultaneously over the whole pattern set.
+
+The data layout is a 3-D array ``d[slot, row, limb]`` of little-endian
+uint64 limbs — slot = a net of the compiled program, row = one fault of
+the batch, limb = 64 packed patterns — holding the **difference domain**
+``faulty XOR good``.  Working in the diff domain is what keeps the
+programs small:
+
+* a quiescent net is all-zero, so untouched inputs read from one shared
+  zero slot and no good-machine broadcast copies are ever made;
+* inverters cancel (``~a ^ ~b == a ^ b``), so BUF/NOT gates are pure
+  copies and are eliminated entirely by aliasing their output slot to
+  their input slot, and NAND/NOR/XNOR share the AND/OR/XOR kernels;
+* AND/OR need only the per-gate good words as broadcast constants:
+  ``d_out = ((d0^g0) & (d1^g1)) ^ (g0&g1)`` (dually for OR), both
+  constants precomputed at compile time.
+
+A fault is injected by forcing ``seed_value XOR good`` into its seed
+net's slot at its row — re-forced right after the wave containing the
+seed's driver gate, so a seed inside another row's cone keeps its stuck
+value.  Detection words are the OR of the observed slots; bit-identity
+with ``cone``/``event`` follows because every gate still evaluates the
+exact packed function of the exact packed inputs, just many faults at a
+time (the differential oracle in ``tests/exec/test_differential.py``
+checks this).
+
+Rows are ordered by the bitmask of observation points their seed reaches
+(``out_mask``) so batch members share cones and the per-batch union stays
+close to the per-fault cone sizes.  Compiled programs are cached per
+``(targets, seed set)`` and whole prepared runs per ``(patterns, fault
+tuple)``, which is what makes warm re-runs (benchmark repeats, pooled
+chunk streams over one pattern set) almost pure array math.
+
+numpy is imported lazily and guarded: constructing a
+:class:`BatchFaultEngine` without numpy raises
+:class:`~repro.errors.FaultSimError` (the other engines keep working).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..errors import FaultSimError
+from .fault import OUTPUT_PIN
+from .propagate import (_AND, _BUF, _MUX, _NAND, _NOR, _NOT, _OR, _XNOR,
+                        _XOR, PropagationSchedule, evaluate_opcode)
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Default fault rows per batch.  Measured sweet spot on the benchmark
+#: workload: below ~24 the per-wave numpy call overhead dominates, above
+#: ~64 the union-of-cones grows faster than the row parallelism pays.
+DEFAULT_ROWS = 32
+
+#: Fused kernel selectors (waves carry one of these).
+_K_COPY, _K_XOR, _K_AND, _K_OR, _K_MUX = range(5)
+
+_KERNEL = {
+    _BUF: _K_COPY, _NOT: _K_COPY,
+    _AND: _K_AND, _NAND: _K_AND,
+    _OR: _K_OR, _NOR: _K_OR,
+    _XOR: _K_XOR, _XNOR: _K_XOR,
+    _MUX: _K_MUX,
+}
+
+
+class _PatternState:
+    """Per-pattern-set packed arrays shared by every batch run."""
+
+    __slots__ = ("count", "mask", "limbs", "last_mask", "good_mat",
+                 "good_list")
+
+    def __init__(self, patterns, good, num_nets):
+        self.count = patterns.count
+        self.mask = patterns.mask
+        self.limbs = max(1, -(-patterns.count // 64))
+        rem = patterns.count % 64
+        self.last_mask = _np.uint64((1 << rem) - 1 if rem
+                                    else 0xFFFFFFFFFFFFFFFF)
+        good_list = [0] * num_nets
+        for net, value in good.items():
+            good_list[net] = value
+        self.good_list = good_list
+        width = self.limbs * 8
+        blob = b"".join(value.to_bytes(width, "little")
+                        for value in good_list)
+        self.good_mat = _np.frombuffer(blob, dtype="<u8").reshape(
+            num_nets, self.limbs).copy()
+
+
+class _Wave:
+    """One fused (level, kernel) group of gates."""
+
+    __slots__ = ("kernel", "lin0", "lin1", "lin2", "o0", "o1",
+                 "g0", "g1", "g2", "gx")
+
+
+class _Program:
+    """Compiled evaluation program for one (targets, seed set) union."""
+
+    __slots__ = ("waves", "gate_wave", "slot", "alias", "nslots",
+                 "dedicated", "kmax", "gate_count")
+
+    def slot_of(self, net):
+        """Final slot of *net* (0 = the shared zero slot)."""
+        alias = self.alias
+        while net in alias:
+            net = alias[net]
+        return self.slot.get(net, 0)
+
+
+class _PreparedRun:
+    """Everything one run needs beyond the diff arrays themselves."""
+
+    __slots__ = ("batches", "maxslots", "maxbuf", "pruned", "pruned_gates",
+                 "inactive", "gate_rows", "faults", "fold_key")
+
+
+class BatchFaultEngine:
+    """Compiles and runs vectorized fault batches for one netlist.
+
+    One engine per :class:`~repro.faults.fault_sim.FaultSimulator`; all
+    caches (cones, observation masks, compiled programs, the last
+    prepared run) live for the simulator's lifetime.
+
+    Args:
+        netlist: finalized netlist.
+        rows: fault rows per batch (:data:`DEFAULT_ROWS`).
+    """
+
+    def __init__(self, netlist, rows=DEFAULT_ROWS):
+        if _np is None:
+            raise FaultSimError(
+                "engine='batch' requires numpy, which is not installed; "
+                "use engine='event' or engine='cone'")
+        if not isinstance(rows, int) or rows < 1:
+            raise FaultSimError(
+                "batch rows must be a positive integer, got {!r}"
+                .format(rows))
+        self.schedule = PropagationSchedule(netlist)
+        self.rows = rows
+        self._driver = {out: gate for gate, out in
+                        enumerate(self.schedule.gate_output)}
+        self._cones = {}       # net -> frozenset of fanout gate indices
+        self._out_masks = {}   # targets -> per-net observation bitmask
+        self._programs = {}    # (targets, seed frozenset) -> _Program
+        self._prepared = None  # single-slot cache of the last prepared run
+
+    # -- static structure ------------------------------------------------
+
+    def _cone_gates(self, net):
+        cone = self._cones.get(net)
+        if cone is None:
+            schedule = self.schedule
+            gate_output = schedule.gate_output
+            seen = set()
+            frontier = [net]
+            while frontier:
+                for gate in schedule.fanout[frontier.pop()]:
+                    if gate not in seen:
+                        seen.add(gate)
+                        frontier.append(gate_output[gate])
+            cone = frozenset(seen)
+            self._cones[net] = cone
+        return cone
+
+    def _out_mask(self, targets):
+        """Per-net bitmask of which *targets* the net can reach — the row
+        clustering key (seeds sharing observation points share cones)."""
+        masks = self._out_masks.get(targets)
+        if masks is None:
+            schedule = self.schedule
+            masks = [0] * self.schedule.netlist.num_nets
+            for i, net in enumerate(sorted(targets)):
+                masks[net] |= 1 << i
+            gate_output = schedule.gate_output
+            gate_inputs = schedule.gate_inputs
+            for gate in range(len(gate_output) - 1, -1, -1):
+                mask = masks[gate_output[gate]]
+                if mask:
+                    for net in gate_inputs[gate]:
+                        masks[net] |= mask
+            self._out_masks[targets] = masks
+        return masks
+
+    # -- compilation -----------------------------------------------------
+
+    def _compile(self, targets, seed_key):
+        """Compiled wave program for the union of *seed_key*'s cones,
+        trimmed to gates that can still reach *targets*; cached."""
+        cache_key = (targets, seed_key)
+        program = self._programs.get(cache_key)
+        if program is not None:
+            return program
+        schedule = self.schedule
+        opcode = schedule.opcode
+        gate_inputs = schedule.gate_inputs
+        gate_output = schedule.gate_output
+        reach = schedule.reach_from(targets)
+        union = set()
+        for seed in seed_key:
+            union.update(self._cone_gates(seed))
+        gates = sorted(g for g in union if reach[gate_output[g]])
+        gateset = set(gates)
+        # Seed nets forced on their driver's wave must keep a concrete
+        # slot, so their BUF/NOT drivers cannot be alias-eliminated.
+        protected = frozenset(s for s in seed_key if s in self._driver)
+
+        program = _Program()
+        slot = {}
+        nxt = 1                       # slot 0 = the shared zero slot
+        for seed in sorted(seed_key):
+            driver = self._driver.get(seed)
+            if driver is None or driver not in gateset:
+                slot[seed] = nxt
+                nxt += 1
+        program.dedicated = nxt
+
+        groups = defaultdict(list)
+        alias = {}
+        for gate in gates:
+            code = opcode[gate]
+            if code in (_BUF, _NOT) and gate_output[gate] not in protected:
+                alias[gate_output[gate]] = gate_inputs[gate][0]
+                continue
+            groups[(schedule.gate_level[gate], _KERNEL[code])].append(gate)
+
+        gate_wave = {}
+        meta = []
+        for (level, kernel), members in sorted(groups.items()):
+            start = nxt
+            for gate in members:
+                slot[gate_output[gate]] = nxt
+                nxt += 1
+                gate_wave[gate] = len(meta)
+            meta.append((kernel, members, start, nxt))
+
+        program.slot = slot
+        program.alias = alias
+        program.nslots = nxt
+        program.gate_wave = gate_wave
+        program.gate_count = len(gates)
+        program.waves = meta          # finalized per pattern set lazily
+        program.kmax = max((stop - start for __, __, start, stop in meta),
+                           default=1)
+        self._programs[cache_key] = program
+        return program
+
+    def _bind_waves(self, program, state):
+        """Materialize a program's wave arrays against one pattern set's
+        good-machine constants (:class:`_Wave` list)."""
+        schedule = self.schedule
+        gate_inputs = schedule.gate_inputs
+        gate_output = schedule.gate_output
+        good_mat = state.good_mat
+        slot_of = program.slot_of
+        waves = []
+        for kernel, members, start, stop in program.waves:
+            wave = _Wave()
+            wave.kernel = kernel
+            wave.o0 = start
+            wave.o1 = stop
+            wave.lin0 = _np.array([slot_of(gate_inputs[g][0])
+                                   for g in members], dtype=_np.intp)
+            in0 = _np.array([gate_inputs[g][0] for g in members],
+                            dtype=_np.intp)
+            if kernel in (_K_AND, _K_OR, _K_MUX):
+                wave.g0 = good_mat[in0][:, None, :]
+            if kernel != _K_COPY:
+                wave.lin1 = _np.array([slot_of(gate_inputs[g][1])
+                                       for g in members], dtype=_np.intp)
+                in1 = _np.array([gate_inputs[g][1] for g in members],
+                                dtype=_np.intp)
+                if kernel != _K_XOR:
+                    wave.g1 = good_mat[in1][:, None, :]
+            if kernel == _K_AND:
+                wave.gx = (good_mat[in0] & good_mat[in1])[:, None, :]
+            elif kernel == _K_OR:
+                wave.gx = (good_mat[in0] | good_mat[in1])[:, None, :]
+            elif kernel == _K_MUX:
+                wave.lin2 = _np.array([slot_of(gate_inputs[g][2])
+                                       for g in members], dtype=_np.intp)
+                wave.g2 = good_mat[_np.array(
+                    [gate_inputs[g][2] for g in members],
+                    dtype=_np.intp)][:, None, :]
+                wave.gx = good_mat[_np.array(
+                    [gate_output[g] for g in members],
+                    dtype=_np.intp)][:, None, :]
+            waves.append(wave)
+        return waves
+
+    # -- run preparation -------------------------------------------------
+
+    def _seed_assignment(self, fault, state):
+        """(seed net, packed faulty seed value) or (net, None) when the
+        fault is not excited — identical activation semantics to
+        :meth:`EventDrivenEngine.seed_value`."""
+        schedule = self.schedule
+        good_list = state.good_list
+        stuck = state.mask if fault.stuck_at else 0
+        if fault.pin == OUTPUT_PIN:
+            if stuck == good_list[fault.net]:
+                return fault.net, None
+            return fault.net, stuck
+        gate = fault.gate
+        values = [good_list[net] for net in schedule.gate_inputs[gate]]
+        values[fault.pin] = stuck
+        out = evaluate_opcode(schedule.opcode[gate], values, state.mask)
+        net = schedule.gate_output[gate]
+        if out == good_list[net]:
+            return net, None
+        return net, out
+
+    def _prepare(self, fault_list, state, targets, observed, fold_word):
+        """Batched run plan for *fault_list*; cached on (patterns, fault
+        tuple, targets, fold) so warm repeats skip all Python set work."""
+        faults = tuple(fault_list)
+        fold_key = tuple(fold_word) if fold_word is not None else None
+        cached = self._prepared
+        if (cached is not None and cached[0] is state
+                and cached[1] == targets and cached[2].fold_key == fold_key
+                and cached[2].faults == faults):
+            return cached[2]
+
+        schedule = self.schedule
+        reach = schedule.reach_from(targets)
+        out_mask = self._out_mask(targets)
+        good_list = state.good_list
+        limbs = state.limbs
+        width = limbs * 8
+        rows_per_batch = self.rows
+
+        prepared = _PreparedRun()
+        prepared.faults = faults
+        prepared.fold_key = fold_key
+        prepared.pruned = 0
+        prepared.pruned_gates = 0
+        prepared.inactive = 0
+
+        rows = []
+        for index, fault in enumerate(faults):
+            seed = schedule.seed_net(fault)
+            if not reach[seed]:
+                prepared.pruned += 1
+                prepared.pruned_gates += schedule.cone_size(seed)
+                continue
+            seed, value = self._seed_assignment(fault, state)
+            if value is None:
+                prepared.inactive += 1
+                continue
+            rows.append((index, seed, value))
+        rows.sort(key=lambda row: (out_mask[row[1]], row[1], row[0]))
+
+        observed = set(observed)
+        batches = []
+        gate_rows = 0
+        for start in range(0, len(rows), rows_per_batch):
+            batch = rows[start:start + rows_per_batch]
+            live = len(batch)
+            # Pad to full width with copies of the last row: every array
+            # op then runs over one fixed shape (padded rows are never
+            # read back).
+            padded = batch + [batch[-1]] * (rows_per_batch - live)
+            seed_key = frozenset(seed for __, seed, __v in batch)
+            program = self._compile(targets, seed_key)
+            waves = self._bind_waves(program, state)
+            gate_rows += program.gate_count * live
+
+            blob = b"".join((value ^ good_list[seed]).to_bytes(
+                width, "little") for __, seed, value in padded)
+            forces = _np.frombuffer(blob, dtype="<u8").reshape(
+                rows_per_batch, limbs)
+            init_slots, init_rows = [], []
+            wave_forces = defaultdict(lambda: ([], []))
+            for row, (__, seed, __v) in enumerate(padded):
+                driver = self._driver.get(seed)
+                wave = (program.gate_wave.get(driver)
+                        if driver is not None else None)
+                if wave is None:
+                    init_slots.append(program.slot[seed])
+                    init_rows.append(row)
+                else:
+                    slots, rws = wave_forces[wave]
+                    slots.append(program.slot[seed])
+                    rws.append(row)
+            init = (_np.array(init_slots, dtype=_np.intp),
+                    _np.array(init_rows, dtype=_np.intp))
+            forced = {wave: (_np.array(slots, dtype=_np.intp),
+                             _np.array(rws, dtype=_np.intp))
+                      for wave, (slots, rws) in wave_forces.items()}
+
+            obs_slots = sorted({s for s in (program.slot_of(net)
+                                            for net in observed) if s})
+            obs = _np.array(obs_slots, dtype=_np.intp)
+            fold_slots = None
+            if fold_word is not None:
+                fold_slots = _np.array(
+                    [program.slot_of(net) for net in fold_word],
+                    dtype=_np.intp)
+            out_index = [index for index, __, __v in batch]
+            batches.append((program, waves, forces, init, forced, obs,
+                            fold_slots, out_index, live))
+
+        prepared.batches = batches
+        prepared.gate_rows = gate_rows
+        prepared.maxslots = max((b[0].nslots for b in batches), default=1)
+        prepared.maxbuf = max((b[0].kmax for b in batches), default=1)
+        self._prepared = (state, targets, prepared)
+        return prepared
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self, fault_list, state, targets, observed, stats,
+            fold_word=None):
+        """Simulate *fault_list* and return ``(words, diffs)``.
+
+        Args:
+            fault_list: faults to simulate (any iterable order is kept).
+            state: :class:`_PatternState` from :meth:`pattern_state`.
+            targets: frozenset of nets whose reachability keeps a fault
+                alive (observation points, plus the fold word under SpT).
+            observed: nets whose diff ORs into the detection word.
+            stats: the simulator's counter dict (mutated in place).
+            fold_word: optional result-bus net list; when given, the
+                second return value holds per-fault ``[(i, diff), ...]``
+                lists in fold-word order, else None.
+
+        Returns:
+            ``(detection_words, fold_diffs_or_None)`` in fault-list order.
+        """
+        prepared = self._prepare(fault_list, state, targets, observed,
+                                 fold_word)
+        stats["faults_pruned"] += prepared.pruned
+        stats["gates_skipped"] += prepared.pruned_gates
+        stats["faults_inactive"] += prepared.inactive
+        stats["gates_evaluated"] += prepared.gate_rows
+        stats["gates_visited"] += prepared.gate_rows
+        stats["batches"] = stats.get("batches", 0) + len(prepared.batches)
+
+        words = [0] * len(prepared.faults)
+        diffs = ([[] for __ in prepared.faults]
+                 if fold_word is not None else None)
+        if not prepared.batches:
+            return words, diffs
+
+        rows = self.rows
+        limbs = state.limbs
+        d = _np.empty((prepared.maxslots, rows, limbs), dtype="<u8")
+        d[0] = 0
+        buf_a = _np.empty((prepared.maxbuf, rows, limbs), dtype="<u8")
+        buf_b = _np.empty((prepared.maxbuf, rows, limbs), dtype="<u8")
+        buf_c = _np.empty((prepared.maxbuf, rows, limbs), dtype="<u8")
+        byte_width = limbs * 8
+
+        for (program, waves, forces, init, forced, obs, fold_slots,
+             out_index, live) in prepared.batches:
+            if program.dedicated > 1:
+                # Dedicated seed slots keep stale rows from the previous
+                # batch (only their own rows are forced); quiesce them.
+                d[1:program.dedicated] = 0
+            if len(init[0]):
+                d[init] = forces[init[1]]
+            for index, wave in enumerate(waves):
+                k = wave.o1 - wave.o0
+                out = d[wave.o0:wave.o1]
+                kernel = wave.kernel
+                if kernel == _K_COPY:
+                    _np.take(d, wave.lin0, axis=0, out=out)
+                elif kernel == _K_XOR:
+                    a = _np.take(d, wave.lin0, axis=0, out=buf_a[:k])
+                    b = _np.take(d, wave.lin1, axis=0, out=buf_b[:k])
+                    _np.bitwise_xor(a, b, out=out)
+                elif kernel == _K_AND:
+                    a = _np.take(d, wave.lin0, axis=0, out=buf_a[:k])
+                    a ^= wave.g0
+                    b = _np.take(d, wave.lin1, axis=0, out=buf_b[:k])
+                    b ^= wave.g1
+                    _np.bitwise_and(a, b, out=out)
+                    out ^= wave.gx
+                elif kernel == _K_OR:
+                    a = _np.take(d, wave.lin0, axis=0, out=buf_a[:k])
+                    a ^= wave.g0
+                    b = _np.take(d, wave.lin1, axis=0, out=buf_b[:k])
+                    b ^= wave.g1
+                    _np.bitwise_or(a, b, out=out)
+                    out ^= wave.gx
+                else:  # _K_MUX: absolute-value select, back to diff domain
+                    a = _np.take(d, wave.lin0, axis=0, out=buf_a[:k])
+                    a ^= wave.g0
+                    b = _np.take(d, wave.lin1, axis=0, out=buf_b[:k])
+                    b ^= wave.g1
+                    sel = _np.take(d, wave.lin2, axis=0, out=buf_c[:k])
+                    sel ^= wave.g2
+                    _np.bitwise_and(b, sel, out=b)
+                    _np.bitwise_not(sel, out=sel)
+                    _np.bitwise_and(a, sel, out=a)
+                    _np.bitwise_or(a, b, out=out)
+                    out ^= wave.gx
+                if index in forced:
+                    slots, rws = forced[index]
+                    d[slots, rws] = forces[rws]
+            if len(obs):
+                detected = _np.bitwise_or.reduce(d[obs], axis=0)
+                detected[:, -1] &= state.last_mask
+                blob = detected.tobytes()
+                for row, index in enumerate(out_index):
+                    words[index] = int.from_bytes(
+                        blob[row * byte_width:(row + 1) * byte_width],
+                        "little")
+            if fold_slots is not None and len(fold_slots):
+                fold = d[fold_slots][:, :live]
+                fold[:, :, -1] &= state.last_mask
+                hits = _np.argwhere(fold.any(axis=2))
+                per_row = defaultdict(list)
+                for i, row in hits.tolist():
+                    per_row[row].append(i)
+                for row, positions in per_row.items():
+                    entry = diffs[out_index[row]]
+                    for i in positions:
+                        value = int.from_bytes(fold[i, row].tobytes(),
+                                               "little")
+                        if value:
+                            entry.append((i, value))
+                    entry.sort()
+        return words, diffs
+
+
+def pattern_state(patterns, good, num_nets):
+    """Build the packed per-pattern-set arrays (:class:`_PatternState`);
+    the simulator memoizes the result per (pattern set, version)."""
+    if _np is None:
+        raise FaultSimError(
+            "engine='batch' requires numpy, which is not installed")
+    return _PatternState(patterns, good, num_nets)

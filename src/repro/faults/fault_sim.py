@@ -11,7 +11,7 @@ All patterns are simulated at once per fault: net values are packed integers
 (bit ``k`` = value under pattern ``k``), so a fault's full detection word
 costs one traversal of its fanout cone.
 
-Two propagation engines compute that traversal (``engine=`` argument):
+Three propagation engines compute that traversal (``engine=`` argument):
 
 * ``"event"`` (default) — the event-driven frontier of
   :mod:`repro.faults.propagate`: faults advance level by level through a
@@ -19,11 +19,16 @@ Two propagation engines compute that traversal (``engine=`` argument):
   faults are grouped by cone head so per-head setup is shared.
 * ``"cone"`` — the classic static cone walk: every gate in the fault's
   transitive fanout is visited, whether or not the effect is still alive.
+* ``"batch"`` — the vectorized backend of :mod:`repro.faults.batch`:
+  faults are clustered into fixed-width batches, the union of each
+  batch's fanout cones is compiled once into fused numpy word-ops, and
+  one array pass simulates every fault of the batch over all patterns
+  simultaneously (requires numpy; construction fails cleanly without it).
 
-Both engines are bit-identical (same detection words, first detections,
-and signature verdicts); the event engine only trims execution redundancy.
-The ``stats`` counters (gates evaluated/visited/skipped, inactive/pruned
-faults) make that trimmed redundancy observable.
+All engines are bit-identical (same detection words, first detections,
+and signature verdicts); they only trim or reorganize execution
+redundancy.  The ``stats`` counters (gates evaluated/visited/skipped,
+inactive/pruned faults, batches) make that redundancy observable.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from .fault import OUTPUT_PIN, FaultList
 from .propagate import EventDrivenEngine
 
 #: Valid values of ``FaultSimulator(engine=...)``.
-ENGINES = ("event", "cone")
+ENGINES = ("event", "cone", "batch")
 
 
 @dataclass
@@ -117,18 +122,21 @@ class FaultSimulator:
         observed_outputs: optional subset of output nets used as the
             observation point; defaults to all primary outputs
             (module-level observability).
-        engine: ``"event"`` (default) or ``"cone"`` — see the module
-            docstring.  Results are bit-identical either way.
+        engine: ``"event"`` (default), ``"cone"``, or ``"batch"`` — see
+            the module docstring.  Results are bit-identical either way.
 
     Attributes:
         stats: cumulative propagation counters across every run of this
             simulator — ``gates_evaluated`` (gate evaluations during
-            propagation), ``gates_visited`` (gates touched at all: equals
-            evaluations for the event engine, the full static cone for the
-            cone engine), ``gates_skipped`` (static-cone gates the event
-            engine never touched), ``faults_inactive`` (activation check
-            failed), ``faults_pruned`` (event engine: cone head cannot
-            reach any observation point).
+            propagation; for the batch engine, gate-row evaluations of
+            the shared batch programs), ``gates_visited`` (gates touched
+            at all: equals evaluations for the event engine, the full
+            static cone for the cone engine), ``gates_skipped``
+            (static-cone gates the engine never touched),
+            ``faults_inactive`` (activation check failed),
+            ``faults_pruned`` (event/batch engines: cone head cannot
+            reach any observation point), ``batches`` (batch engine:
+            compiled fault batches evaluated).
     """
 
     def __init__(self, netlist, observed_outputs=None, engine="event"):
@@ -153,13 +161,26 @@ class FaultSimulator:
         self._gate_inputs = [g.inputs for g in netlist.gates]
         self._gate_output = [g.output for g in netlist.gates]
         self._event = EventDrivenEngine(netlist) if engine == "event" else None
+        if engine == "batch":
+            from .batch import BatchFaultEngine
+            self._batch = BatchFaultEngine(netlist)
+        else:
+            self._batch = None
         self._observed_targets = frozenset(self.observed)
-        self._good_cache = (None, None)
-        self._targets_cache = (None, None)
-        self._good_values_cache = (None, None)
+        self._good_cache = (None, None, None)
+        self._targets_cache = (None, None, None)
+        self._good_values_cache = (None, None, None)
+        self._batch_state_cache = (None, None, None)
         self.stats = {"gates_evaluated": 0, "gates_visited": 0,
                       "gates_skipped": 0, "faults_inactive": 0,
-                      "faults_pruned": 0}
+                      "faults_pruned": 0, "batches": 0}
+
+    @property
+    def batch_rows(self):
+        """Fault rows per compiled batch (None unless the batch engine is
+        active) — the scheduler's chunk-size quantum, so pooled chunks
+        arrive as whole batches."""
+        return self._batch.rows if self._batch is not None else None
 
     def _cone(self, net):
         cone = self._cone_cache.get(net)
@@ -170,34 +191,54 @@ class FaultSimulator:
 
     def _good_as_list(self, good):
         """Net-indexed list view of a good-machine value dict (memoized on
-        the dict identity — callers reuse one dict across many faults)."""
-        cached_good, cached_list = self._good_cache
-        if cached_good is not good:
+        the dict identity plus length — callers reuse one dict across many
+        faults, and a same-identity dict that gained entries is stale)."""
+        cached_good, cached_len, cached_list = self._good_cache
+        if cached_good is not good or cached_len != len(good):
             cached_list = [0] * self.netlist.num_nets
             for net, value in good.items():
                 cached_list[net] = value
-            self._good_cache = (good, cached_list)
+            self._good_cache = (good, len(good), cached_list)
         return cached_list
 
     def _targets_for(self, observed_set):
-        """Frozenset view of *observed_set* (memoized on identity)."""
-        cached_set, cached_frozen = self._targets_cache
-        if cached_set is not observed_set:
+        """Frozenset view of *observed_set* (memoized on identity plus
+        length, the closest thing a plain set has to a mutation stamp)."""
+        cached_set, cached_len, cached_frozen = self._targets_cache
+        if cached_set is not observed_set or cached_len != len(observed_set):
             cached_frozen = frozenset(observed_set)
-            self._targets_cache = (observed_set, cached_frozen)
+            self._targets_cache = (observed_set, len(observed_set),
+                                   cached_frozen)
         return cached_frozen
 
     def good_values(self, patterns):
         """Good-machine net values for *patterns*, memoized on the pattern
-        set's identity (the cache holds a strong reference, so the identity
-        stays valid).  Chunk-resumable runs lean on this: a pooled worker
-        simulating many fault chunks of one pattern set pays the logic
-        simulation once, not once per chunk."""
-        cached_patterns, cached_good = self._good_values_cache
-        if cached_patterns is not patterns:
+        set's identity **and mutation version** (the cache holds a strong
+        reference, so the identity stays valid; the version counter
+        invalidates it when the same set object gains patterns through
+        ``add``/``add_words`` after being cached).  Chunk-resumable runs
+        lean on this: a pooled worker simulating many fault chunks of one
+        pattern set pays the logic simulation once, not once per chunk."""
+        version = getattr(patterns, "version", 0)
+        cached_patterns, cached_version, cached_good = \
+            self._good_values_cache
+        if cached_patterns is not patterns or cached_version != version:
             cached_good = self._logic.run(patterns)
-            self._good_values_cache = (patterns, cached_good)
+            self._good_values_cache = (patterns, version, cached_good)
         return cached_good
+
+    def _batch_state(self, patterns):
+        """Packed numpy pattern state for the batch engine, memoized like
+        :meth:`good_values` on (identity, version)."""
+        from .batch import pattern_state
+        version = getattr(patterns, "version", 0)
+        cached_patterns, cached_version, cached_state = \
+            self._batch_state_cache
+        if cached_patterns is not patterns or cached_version != version:
+            cached_state = pattern_state(patterns, self.good_values(patterns),
+                                         self.netlist.num_nets)
+            self._batch_state_cache = (patterns, version, cached_state)
+        return cached_state
 
     def run(self, patterns, fault_list=None):
         """Simulate *fault_list* (default: full collapsed list) over
@@ -215,6 +256,10 @@ class FaultSimulator:
         if self.engine == "event":
             detection_words = self._run_event(fault_list, good, mask,
                                               observed_set)
+        elif self.engine == "batch":
+            detection_words, __ = self._batch.run(
+                fault_list, self._batch_state(patterns),
+                self._observed_targets, observed_set, self.stats)
         else:
             detection_words = [
                 self._simulate_fault(fault, good, mask, observed_set)
@@ -339,6 +384,12 @@ class FaultSimulator:
                                                  observed_set, fold_word,
                                                  targets)
                        for fault in fault_list]
+        elif self.engine == "batch":
+            targets = self._observed_targets | frozenset(fold_word)
+            words, fold_diffs = self._batch.run(
+                fault_list, self._batch_state(patterns), targets,
+                observed_set, self.stats, fold_word=fold_word)
+            effects = list(zip(words, fold_diffs))
         else:
             effects = [self._fault_effects_cone(fault, good, mask,
                                                 observed_set, fold_word)

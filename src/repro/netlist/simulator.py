@@ -20,7 +20,16 @@ def iter_set_bits(word):
     packed pattern/detection words iterates through this one helper, so
     pattern indices are derived identically everywhere (the fault layer
     re-exports it as ``repro.faults.fault_sim.iter_set_bits``).
+
+    Raises:
+        ValueError: *word* is negative.  A Python int's two's-complement
+        view of a negative number has infinitely many set bits, so the
+        walk would never terminate — fail loudly instead.
     """
+    if word < 0:
+        raise ValueError(
+            "iter_set_bits requires a non-negative word, got {}"
+            .format(word))
     while word:
         low = word & -word
         yield low.bit_length() - 1
@@ -32,12 +41,21 @@ class PatternSet:
 
     Stores, for each primary input net, a packed integer whose bit ``k`` is
     the input's value in pattern ``k``.
+
+    Attributes:
+        version: mutation counter, bumped by every :meth:`add` (and hence
+            :meth:`add_words`).  Consumers that memoize derived state on a
+            pattern set's identity (good-machine values, packed numpy
+            limbs, pooled-worker priming) key on ``(id, version)`` so a
+            set mutated after being cached is re-derived instead of
+            silently served stale.
     """
 
     def __init__(self, netlist, count=0):
         netlist.finalize()
         self.netlist = netlist
         self.count = count
+        self.version = 0
         self.packed = {net: 0 for net in netlist.inputs}
 
     @property
@@ -62,6 +80,7 @@ class PatternSet:
             if value:
                 self.packed[net] |= 1 << index
         self.count += 1
+        self.version += 1
         return index
 
     def add_words(self, word_values):
@@ -71,10 +90,28 @@ class PatternSet:
             word_values: iterable of ``(word, value)`` pairs where *word* is a
                 list of input net indices (LSB first) and *value* the integer
                 to apply.
+
+        Raises:
+            NetlistError: *value* has set bits at positions >= ``len(word)``
+                (those bits have no net to land on and were previously
+                discarded silently), *value* is negative, or two words in
+                the same call assign the same net (the later word silently
+                overwrote the earlier one's bit).
         """
         assignment = {}
         for word, value in word_values:
+            if value < 0:
+                raise NetlistError(
+                    "word value {} is negative".format(value))
+            if value >> len(word):
+                raise NetlistError(
+                    "word value {:#x} does not fit the {}-net word (extra "
+                    "high bits would be dropped)".format(value, len(word)))
             for i, net in enumerate(word):
+                if net in assignment:
+                    raise NetlistError(
+                        "net {} is assigned by more than one word in the "
+                        "same pattern".format(net))
                 assignment[net] = (value >> i) & 1
         return self.add(assignment)
 

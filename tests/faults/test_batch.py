@@ -1,0 +1,196 @@
+"""Batch engine specifics: compilation caches, padding, stats, gating.
+
+Bit-identity to the cone walk is the hypothesis oracle's job
+(tests/faults/test_propagate.py, tests/exec/test_differential.py); this
+file covers what the oracle can't see — the numpy gate, row/batch layout
+edges (fault counts that don't fill a batch, dedicated-seed slots reused
+across batches), the ``batches`` stats counter, prepared-run cache
+replay, and the pattern-mutation memoization regression.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import FaultSimError
+from repro.exec import RunMetrics, ShardedFaultScheduler
+from repro.faults import (FaultList, FaultSimulator, OUTPUT_PIN,
+                          StuckAtFault)
+from repro.faults.batch import (BatchFaultEngine, DEFAULT_ROWS,
+                                pattern_state)
+from repro.faults.fault import enumerate_faults
+from repro.netlist import GateType, LogicSimulator, Netlist, PatternSet
+from repro.netlist.gates import ARITY
+
+
+def _random_netlist(rng, num_inputs=4, num_gates=18, num_outputs=3):
+    nl = Netlist("rand")
+    nets = [nl.add_input() for __ in range(num_inputs)]
+    for __ in range(num_gates):
+        gate_type = rng.choice([GateType.AND, GateType.OR, GateType.XOR,
+                                GateType.NAND, GateType.NOR, GateType.NOT,
+                                GateType.XNOR, GateType.MUX, GateType.BUF])
+        ins = [rng.choice(nets) for __ in range(ARITY[gate_type])]
+        nets.append(nl.add_gate(gate_type, *ins))
+    for net in rng.sample(nets[-(num_outputs * 3):], num_outputs):
+        nl.mark_output(net)
+    nl.finalize()
+    return nl
+
+
+def _random_patterns(rng, nl, count):
+    patterns = PatternSet(nl)
+    for __ in range(count):
+        patterns.add({net: rng.getrandbits(1) for net in nl.inputs})
+    return patterns
+
+
+# -- construction gates ------------------------------------------------------
+
+def test_batch_engine_requires_numpy(monkeypatch):
+    import repro.faults.batch as batch_mod
+    nl = _random_netlist(random.Random(0))
+    monkeypatch.setattr(batch_mod, "_np", None)
+    with pytest.raises(FaultSimError, match="numpy"):
+        BatchFaultEngine(nl)
+    with pytest.raises(FaultSimError, match="numpy"):
+        pattern_state(PatternSet(nl), {}, nl.num_nets)
+
+
+@pytest.mark.parametrize("rows", [0, -4, 2.5, "32"])
+def test_batch_engine_rejects_bad_rows(rows):
+    nl = _random_netlist(random.Random(0))
+    with pytest.raises(FaultSimError, match="rows"):
+        BatchFaultEngine(nl, rows=rows)
+
+
+def test_batch_rows_property_only_for_batch_engine():
+    nl = _random_netlist(random.Random(1))
+    assert FaultSimulator(nl, engine="batch").batch_rows == DEFAULT_ROWS
+    assert FaultSimulator(nl, engine="event").batch_rows is None
+    assert FaultSimulator(nl, engine="cone").batch_rows is None
+
+
+# -- batch layout edges ------------------------------------------------------
+
+def _engine_words(nl, patterns, fault_list, rows):
+    """Run BatchFaultEngine directly (small row counts force multi-batch
+    runs and padded final batches on tiny netlists)."""
+    engine = BatchFaultEngine(nl, rows=rows)
+    state = pattern_state(patterns, LogicSimulator(nl).run(patterns),
+                          nl.num_nets)
+    targets = frozenset(nl.outputs)
+    stats = {"gates_evaluated": 0, "gates_visited": 0, "gates_skipped": 0,
+             "faults_inactive": 0, "faults_pruned": 0, "batches": 0}
+    words, __ = engine.run(list(fault_list), state, targets, set(targets),
+                           stats)
+    return words, stats
+
+
+@pytest.mark.parametrize("rows", [1, 2, 3, 7])
+def test_partial_final_batch_and_small_rows_match_cone(rows):
+    # Fault counts that don't divide by `rows` exercise row padding; the
+    # dedicated input-seed slots are re-forced per batch, so stale rows
+    # from the previous batch must never leak through (regression: slots
+    # only overwritten for their own rows carried old diffs).
+    rng = random.Random(7)
+    for seed in range(6):
+        nl = _random_netlist(rng, num_gates=rng.randrange(4, 22))
+        patterns = _random_patterns(rng, nl, rng.randrange(1, 9))
+        fault_list = FaultList(nl, enumerate_faults(nl, collapse=False))
+        reference = FaultSimulator(nl, engine="cone").run(patterns,
+                                                          fault_list)
+        words, stats = _engine_words(nl, patterns, fault_list, rows)
+        assert words == reference.detection_words
+        active = len(fault_list) - stats["faults_inactive"] - \
+            stats["faults_pruned"]
+        assert stats["batches"] == -(-active // rows) if active else 0
+
+
+def test_multi_batch_run_counts_batches():
+    rng = random.Random(21)
+    nl = _random_netlist(rng, num_gates=40, num_outputs=4)
+    patterns = _random_patterns(rng, nl, 12)
+    fault_list = FaultList(nl, enumerate_faults(nl, collapse=False))
+    simulator = FaultSimulator(nl, engine="batch")
+    result = simulator.run(patterns, fault_list)
+    reference = FaultSimulator(nl, engine="cone").run(patterns, fault_list)
+    assert result.detection_words == reference.detection_words
+    assert simulator.stats["batches"] >= 1
+    assert simulator.stats["gates_evaluated"] > 0
+    assert simulator.stats["gates_visited"] == \
+        simulator.stats["gates_evaluated"]
+
+
+def test_prepared_run_cache_replays_stats_and_results():
+    rng = random.Random(5)
+    nl = _random_netlist(rng)
+    patterns = _random_patterns(rng, nl, 6)
+    fault_list = FaultList(nl, enumerate_faults(nl, collapse=False))
+    simulator = FaultSimulator(nl, engine="batch")
+    first = simulator.run(patterns, fault_list)
+    snapshot = dict(simulator.stats)
+    # Same (patterns, fault list, observability): the prepared-run cache
+    # skips row building but must still report identical results and
+    # re-count per-run stats.
+    second = simulator.run(patterns, fault_list)
+    assert second.detection_words == first.detection_words
+    assert second.first_detection == first.first_detection
+    for key, value in snapshot.items():
+        assert simulator.stats[key] == 2 * value
+
+
+def test_empty_pattern_set_detects_nothing():
+    nl = _random_netlist(random.Random(3))
+    patterns = PatternSet(nl)
+    fault_list = FaultList(nl, enumerate_faults(nl, collapse=False))
+    simulator = FaultSimulator(nl, engine="batch")
+    result = simulator.run(patterns, fault_list)
+    assert result.detection_words == [0] * len(fault_list)
+    assert simulator.stats["batches"] == 0
+
+
+# -- memoization regressions -------------------------------------------------
+
+def _and_netlist():
+    nl = Netlist("memo")
+    a = nl.add_input()
+    b = nl.add_input()
+    g = nl.add_gate(GateType.AND, a, b)
+    nl.mark_output(g)
+    nl.finalize()
+    return nl, a, b, g
+
+
+@pytest.mark.parametrize("engine", ["cone", "event", "batch"])
+def test_pattern_mutation_between_runs_is_not_served_stale(engine):
+    # Regression: good values / packed states were memoized on the
+    # PatternSet's identity alone, so adding patterns after a run kept
+    # serving the old good machine.  sa0 on the AND output is only
+    # detected by the (1, 1) pattern, which arrives in the second add.
+    nl, a, b, g = _and_netlist()
+    fault_list = FaultList(nl, [StuckAtFault(g, 0, OUTPUT_PIN, 0)])
+    simulator = FaultSimulator(nl, engine=engine)
+    patterns = PatternSet(nl)
+    patterns.add({a: 1, b: 0})
+    assert simulator.run(patterns, fault_list).detection_words == [0b0]
+    patterns.add({a: 1, b: 1})
+    assert simulator.run(patterns, fault_list).detection_words == [0b10]
+
+
+@pytest.mark.parametrize("engine", ["cone", "event", "batch"])
+def test_pooled_workers_reprime_mutated_pattern_sets(engine):
+    # The worker-side pattern cache keys on (id, count, version): a set
+    # mutated between pooled runs must be re-shipped, not replayed.
+    nl, a, b, g = _and_netlist()
+    fault_list = FaultList(nl, [StuckAtFault(g, 0, OUTPUT_PIN, 0)])
+    simulator = FaultSimulator(nl, engine=engine)
+    patterns = PatternSet(nl)
+    patterns.add({a: 1, b: 0})
+    with ShardedFaultScheduler(jobs=2, min_faults_per_shard=1,
+                               metrics=RunMetrics()) as scheduler:
+        assert scheduler.run(simulator, patterns,
+                             fault_list).detection_words == [0b0]
+        patterns.add({a: 1, b: 1})
+        assert scheduler.run(simulator, patterns,
+                             fault_list).detection_words == [0b10]

@@ -7,6 +7,7 @@ from repro.errors import NetlistError
 from repro.netlist import (CONST0, CONST1, GateType, LogicSimulator, Netlist,
                            PatternSet)
 from repro.netlist.gates import ARITY, evaluate
+from repro.netlist.simulator import iter_set_bits
 
 
 @pytest.mark.parametrize("gate_type,table", [
@@ -125,6 +126,43 @@ def test_subset_rejects_out_of_range_indices():
         patterns.subset([0, 1])
     with pytest.raises(IndexError):
         patterns.subset([-1])
+
+
+def test_iter_set_bits_walks_ascending_and_rejects_negatives():
+    assert list(iter_set_bits(0)) == []
+    assert list(iter_set_bits(0b1011001)) == [0, 3, 4, 6]
+    # A negative int has infinitely many two's-complement set bits; the
+    # walk must fail loudly instead of looping forever.
+    with pytest.raises(ValueError):
+        list(iter_set_bits(-1))
+
+
+def test_pattern_set_version_counts_every_mutation():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    assert patterns.version == 0
+    patterns.add({a: 1})
+    patterns.add_words([([a, b], 0b10)])
+    assert patterns.version == 2
+    assert patterns.subset([0]).version == 0  # fresh set, fresh counter
+
+
+def test_add_words_applies_lsb_first_and_validates():
+    nl, a, b, out = _xor_netlist()
+    patterns = PatternSet(nl)
+    patterns.add_words([([a, b], 0b01)])
+    assert patterns.value_of(a, 0) == 1
+    assert patterns.value_of(b, 0) == 0
+    with pytest.raises(NetlistError, match="does not fit"):
+        patterns.add_words([([a, b], 0b100)])
+    with pytest.raises(NetlistError, match="negative"):
+        patterns.add_words([([a, b], -1)])
+    with pytest.raises(NetlistError, match="more than one word"):
+        patterns.add_words([([a], 1), ([b, a], 0b10)])
+    # Failed calls must not half-apply: only the first valid pattern
+    # landed.
+    assert patterns.count == 1
+    assert patterns.version == 1
 
 
 @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
