@@ -11,7 +11,7 @@ import os
 
 import pytest
 
-from repro.analysis import DEFAULT, Experiment, SMOKE
+from repro.analysis import DEFAULT, SMOKE, Experiment
 
 
 class Campaigns:

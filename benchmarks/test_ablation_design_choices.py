@@ -16,10 +16,14 @@
 """
 
 from conftest import run_once
-
-from repro.core import (CompactionPipeline, evaluate_fc,
-                        label_instructions, partition_ptp, reduce_ptp,
-                        run_logic_tracing)
+from repro.core import (
+    CompactionPipeline,
+    evaluate_fc,
+    label_instructions,
+    partition_ptp,
+    reduce_ptp,
+    run_logic_tracing,
+)
 from repro.core.labeling import ESSENTIAL
 from repro.core.reduction import segment_small_blocks
 from repro.faults.fault_sim import FaultSimulator

@@ -10,7 +10,6 @@ PTP with both methods and reports fault-simulation counts and wall time.
 import time
 
 from conftest import run_once
-
 from repro.baselines import compact_iteratively
 from repro.core import CompactionPipeline
 from repro.stl import generate_imm

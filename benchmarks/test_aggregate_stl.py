@@ -7,7 +7,6 @@ excluded from compaction) is modeled with the same shares.
 """
 
 from conftest import run_once
-
 from repro.analysis import stl_aggregate
 
 

@@ -11,7 +11,6 @@ Shape checks (paper values in parentheses):
 """
 
 from conftest import run_once
-
 from repro.analysis import render_table1, table1_rows
 
 

@@ -14,9 +14,12 @@ Shape checks (paper values in parentheses):
 """
 
 from conftest import run_once
-
-from repro.analysis import (combined_outcome_row, compaction_rows,
-                            paper_data, render_compaction_table)
+from repro.analysis import (
+    combined_outcome_row,
+    compaction_rows,
+    paper_data,
+    render_compaction_table,
+)
 
 
 def test_table2_decoder_unit(benchmark, campaigns):

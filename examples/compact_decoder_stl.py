@@ -10,12 +10,15 @@ head, and the final Table-II-shaped rows.
 Run:  python examples/compact_decoder_stl.py
 """
 
-from repro.core import (CompactionPipeline, partition_ptp,
-                        write_compaction_summary, write_fault_sim_report,
-                        write_labeled_ptp)
+from repro.core import (
+    CompactionPipeline,
+    partition_ptp,
+    write_compaction_summary,
+    write_fault_sim_report,
+    write_labeled_ptp,
+)
 from repro.netlist.modules import build_decoder_unit
-from repro.stl import (SelfTestLibrary, generate_cntrl, generate_imm,
-                       generate_mem)
+from repro.stl import SelfTestLibrary, generate_cntrl, generate_imm, generate_mem
 
 
 def head(text, lines=8):

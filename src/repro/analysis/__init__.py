@@ -1,9 +1,15 @@
 """Experiment harness: paper constants, table builders, campaign driver."""
 
-from .experiments import DEFAULT, Experiment, ExperimentScale, SMOKE
-from .tables import (combined_outcome_row, compaction_rows, render_table1,
-                     render_compaction_table, stl_aggregate, table1_rows)
 from . import paper_data
+from .experiments import DEFAULT, SMOKE, Experiment, ExperimentScale
+from .tables import (
+    combined_outcome_row,
+    compaction_rows,
+    render_compaction_table,
+    render_table1,
+    stl_aggregate,
+    table1_rows,
+)
 
 __all__ = [
     "Experiment", "ExperimentScale", "DEFAULT", "SMOKE",

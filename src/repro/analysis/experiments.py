@@ -18,9 +18,14 @@ from ..core.partition import partition_ptp
 from ..core.pipeline import CompactionPipeline
 from ..gpu.gpu import Gpu
 from ..netlist.modules import build_decoder_unit, build_sfu, build_sp_core
-from ..stl.generators import (generate_cntrl, generate_imm, generate_mem,
-                              generate_rand, generate_sfu_imm,
-                              generate_tpgen)
+from ..stl.generators import (
+    generate_cntrl,
+    generate_imm,
+    generate_mem,
+    generate_rand,
+    generate_sfu_imm,
+    generate_tpgen,
+)
 from ..stl.ptp import SelfTestLibrary
 
 

@@ -20,14 +20,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..core.partition import partition_ptp
+from ..core.reduction import segment_small_blocks
+from ..core.tracing import run_logic_tracing
 from ..faults.fault import FaultList
 from ..faults.fault_sim import FaultSimulator
 from ..gpu.gpu import Gpu
 from ..isa.instruction import Program
 from ..isa.opcodes import Fmt, info
-from ..core.partition import partition_ptp
-from ..core.reduction import segment_small_blocks
-from ..core.tracing import run_logic_tracing
 
 
 @dataclass

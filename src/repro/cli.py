@@ -6,6 +6,7 @@ fault injector simulator, composing an environment to analyze and compact
 the GPU's STLs."  This module is that tool's front end::
 
     python -m repro info      --module decoder_unit
+    python -m repro analyze   --module decoder_unit --json
     python -m repro generate  --ptp IMM --seed 0 --sbs 60 --out ptp_imm/
     python -m repro lint      --ptp-dir ptp_imm/ --json
     python -m repro compact   --ptp-dir ptp_imm/ --out compacted/ --reports
@@ -28,10 +29,14 @@ from .analysis import experiments as _experiments
 from .analysis.tables import render_table1, table1_rows
 from .core.campaign import run_stl_campaign
 from .core.checkpoint import CampaignCheckpoint
-from .core.pipeline import CompactionPipeline
-from .core.reports import (write_campaign_summary, write_compaction_summary,
-                           write_fault_sim_report, write_labeled_ptp)
 from .core.patterns import write_pattern_report
+from .core.pipeline import CompactionPipeline
+from .core.reports import (
+    write_campaign_summary,
+    write_compaction_summary,
+    write_fault_sim_report,
+    write_labeled_ptp,
+)
 from .errors import ReproError
 from .exec import ArtifactCache, RunMetrics, resolve_jobs
 from .gpu.trace import write_trace_report
@@ -58,7 +63,7 @@ def _build_module(name, width):
         return _MODULE_BUILDERS[name](width)
     except KeyError:
         raise SystemExit("unknown module {!r}; pick one of {}".format(
-            name, ", ".join(sorted(_MODULE_BUILDERS))))
+            name, ", ".join(sorted(_MODULE_BUILDERS)))) from None
 
 
 def cmd_info(args):
@@ -125,10 +130,18 @@ def cmd_lint(args):
     errors = sum(len(report.errors) for report in reports)
     warnings = sum(len(report.warnings) for report in reports)
     if args.json:
+        # Per-rule-id totals over every linted PTP, so consumers get the
+        # aggregate without re-walking the diagnostic arrays.
+        rule_counts = {}
+        for report in reports:
+            for diagnostic in report.diagnostics:
+                rule_counts[diagnostic.rule] = (
+                    rule_counts.get(diagnostic.rule, 0) + 1)
         print(json.dumps({
             "ptps": [report.to_dict() for report in reports],
             "errors": errors,
             "warnings": warnings,
+            "rule_counts": rule_counts,
         }, indent=1, sort_keys=True))
     else:
         for report in reports:
@@ -136,6 +149,26 @@ def cmd_lint(args):
         print("lint: {} PTP(s), {} error(s), {} warning(s)".format(
             len(reports), errors, warnings))
     return 1 if errors else 0
+
+
+def cmd_analyze(args):
+    """Static testability report (SCOAP, dominance, untestability)."""
+    from .testability import analyze_module
+
+    names = [args.module] if args.module else sorted(_MODULE_BUILDERS)
+    reports = []
+    for name in names:
+        module = _build_module(name, args.width)
+        reports.append((module,
+                        analyze_module(module.netlist, name=module.name)))
+    if args.json:
+        print(json.dumps([report.to_dict() for __, report in reports],
+                         indent=1, sort_keys=True))
+    else:
+        for module, report in reports:
+            print(report.render_text(module.netlist,
+                                     max_proofs=args.max_proofs))
+    return 0
 
 
 def cmd_compact(args):
@@ -146,7 +179,9 @@ def cmd_compact(args):
                             metrics=metrics, engine=args.engine,
                             verify=args.verify,
                             chunk_size=args.chunk_size,
-                            pool=not args.no_pool) as pipeline:
+                            pool=not args.no_pool,
+                            static_prune=args.static_prune,
+                            rank=args.rank) as pipeline:
         outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
                                    evaluate=not args.no_evaluate)
     save_ptp(outcome.compacted, args.out)
@@ -199,6 +234,8 @@ def cmd_campaign(args):
         verify=args.verify,
         chunk_size=args.chunk_size,
         pool=not args.no_pool,
+        static_prune=args.static_prune,
+        rank=args.rank,
     )
     for report in reports:
         print(write_campaign_summary(report))
@@ -219,9 +256,8 @@ def cmd_tables(args):
     print(render_table1(table1_rows(experiment.table1_features())))
     if args.table1_only:
         return 0
-    from .analysis.tables import (combined_outcome_row, compaction_rows,
-                                  render_compaction_table)
     from .analysis import paper_data
+    from .analysis.tables import combined_outcome_row, compaction_rows, render_compaction_table
 
     du_outcomes, __ = experiment.run_du_campaign()
     fc_orig, fc_comp = experiment.combined_fc_pair(
@@ -281,6 +317,19 @@ def _add_exec_arguments(parser):
                             "before stage 5 (default: warn; strict "
                             "aborts the compaction on error-severity "
                             "diagnostics, off skips the gate)")
+    group.add_argument("--static-prune", choices=("off", "safe", "strict"),
+                       default="off",
+                       help="static testability pruning (default: off; "
+                            "safe drops provably-untestable faults "
+                            "before simulation and removes them from "
+                            "the FC denominator, strict additionally "
+                            "re-simulates every pruned fault per PTP "
+                            "and aborts if one is detected)")
+    group.add_argument("--rank", choices=("none", "scoap"), default="none",
+                       help="stage-3 fault worklist ordering (default: "
+                            "none; scoap simulates easiest-to-detect "
+                            "faults first so dropping fires earlier — "
+                            "detected sets are unchanged)")
 
 
 def build_parser():
@@ -315,6 +364,23 @@ def build_parser():
                         help="emit machine-readable diagnostics instead "
                              "of the text listing")
     p_lint.set_defaults(func=cmd_lint)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="static testability report: SCOAP scores, dominance "
+             "classes, untestability proofs")
+    p_analyze.add_argument("--module", default=None,
+                           help="target module (default: all modules)")
+    p_analyze.add_argument("--width", type=int, default=16,
+                           help="datapath width for sp_core/sfu")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the machine-readable report "
+                                "(includes every proof)")
+    p_analyze.add_argument("--max-proofs", type=int, default=20,
+                           metavar="N",
+                           help="proof lines in the text report "
+                                "(default: 20)")
+    p_analyze.set_defaults(func=cmd_analyze)
 
     p_compact = sub.add_parser("compact",
                                help="compact a saved PTP directory")

@@ -14,21 +14,23 @@ wraps it into a resilient multi-PTP campaign (failure isolation, watchdog
 budgets, FC-regression guard, checkpoint/resume).
 """
 
-from .campaign import (CampaignReport, CompactionCampaign, PtpRecord,
-                       Watchdog, run_stl_campaign)
+from .campaign import CampaignReport, CompactionCampaign, PtpRecord, Watchdog, run_stl_campaign
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg, find_loops
 from .checkpoint import CampaignCheckpoint
 from .fc_eval import FcEvaluation, combined_fc, evaluate_fc
 from .labeling import ESSENTIAL, UNESSENTIAL, LabeledPtp, label_instructions
 from .partition import PartitionResult, partition_ptp
-from .patterns import (PatternReport, parse_pattern_report,
-                       write_pattern_report)
+from .patterns import PatternReport, parse_pattern_report, write_pattern_report
 from .pipeline import CompactionOutcome, CompactionPipeline
-from .reduction import (ReductionResult, SmallBlock, reduce_ptp,
-                        segment_small_blocks)
-from .reports import (parse_fault_sim_report, parse_labeled_ptp,
-                      write_campaign_summary, write_compaction_summary,
-                      write_fault_sim_report, write_labeled_ptp)
+from .reduction import ReductionResult, SmallBlock, reduce_ptp, segment_small_blocks
+from .reports import (
+    parse_fault_sim_report,
+    parse_labeled_ptp,
+    write_campaign_summary,
+    write_compaction_summary,
+    write_fault_sim_report,
+    write_labeled_ptp,
+)
 from .tracing import TracingResult, collector_for, run_logic_tracing
 
 __all__ = [

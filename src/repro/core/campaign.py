@@ -34,8 +34,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..errors import (CampaignError, CycleBudgetError, PtpFailure,
-                      PtpTimeoutError, ReproError)
+from ..errors import CampaignError, CycleBudgetError, PtpFailure, PtpTimeoutError, ReproError
 from ..exec.scheduler import ShardedFaultScheduler
 from .pipeline import CompactionPipeline
 
@@ -352,7 +351,7 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
                      reverse_for=("SFU_IMM",), evaluate=True, jobs=None,
                      cache=None, metrics=None, engine="event",
                      verify="warn", scheduler=None, chunk_size=None,
-                     pool=True, **kwargs):
+                     pool=True, static_prune="off", rank=None, **kwargs):
     """Run one campaign per target module of *stl*, sharing a checkpoint.
 
     Modules are processed in order of first appearance in the STL, each
@@ -389,6 +388,11 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
             in a ``finally``.
         chunk_size: faults per streamed pool chunk (None: dynamic).
         pool: False disables the worker pool (every run inline).
+        static_prune: static-testability pruning mode for every
+            per-module pipeline (``"off"``/``"safe"``/``"strict"``; see
+            :class:`CompactionPipeline`).
+        rank: stage-3 worklist ordering for every per-module pipeline
+            (``None``/``"none"``/``"scoap"``).
         **kwargs: forwarded to every :class:`CompactionCampaign`.
 
     Returns:
@@ -413,7 +417,8 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
                 CompactionPipeline(modules[target], gpu=gpu, jobs=jobs,
                                    cache=cache, metrics=metrics,
                                    engine=engine, verify=verify,
-                                   scheduler=scheduler),
+                                   scheduler=scheduler,
+                                   static_prune=static_prune, rank=rank),
                 checkpoint=checkpoint, **kwargs)
             reports.append(campaign.run(stl, reverse_for=reverse_for,
                                         evaluate=evaluate, resume=resume))

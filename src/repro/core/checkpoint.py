@@ -171,10 +171,10 @@ class CampaignCheckpoint:
                 document = json.load(handle)
         except OSError as exc:
             raise CheckpointError("cannot read checkpoint {!r}: {}".format(
-                path, exc))
+                path, exc)) from exc
         except json.JSONDecodeError as exc:
             raise CheckpointError("corrupt checkpoint {!r}: {}".format(
-                path, exc))
+                path, exc)) from exc
         if not isinstance(document, dict):
             raise CheckpointError("corrupt checkpoint {!r}: not an object"
                                   .format(path))

@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..isa.opcodes import Op
-from .cfg import (build_cfg, defining_instructions, find_loops,
-                  is_immediate_only_def)
+from .cfg import build_cfg, defining_instructions, find_loops, is_immediate_only_def
 
 
 @dataclass

@@ -112,7 +112,8 @@ def parse_pattern_report(text, module):
                 (port, int(parts[6 + i], 16))
                 for i, port in enumerate(ports)))
         except ValueError as exc:
-            raise ReportError("VCDE line {}: {}".format(lineno, exc))
+            raise ReportError("VCDE line {}: {}".format(lineno,
+                                                          exc)) from exc
         records.append(StimulusRecord(cc, block, warp, lane, pc, values,
                                       thread))
     return PatternReport(module, records)

@@ -26,6 +26,7 @@ from ..errors import CompactionError, VerificationError
 from ..exec.cache import cached_logic_tracing
 from ..exec.scheduler import ShardedFaultScheduler
 from ..faults.dropping import FaultListReport
+from ..faults.fault import FaultList
 from ..faults.fault_sim import FaultSimulator
 from ..gpu.gpu import Gpu
 from .fc_eval import evaluate_fc
@@ -145,11 +146,26 @@ class CompactionPipeline:
             :class:`~repro.errors.VerificationError` on error-severity
             diagnostics *before* the fault report is mutated, ``"off"``
             skips verification entirely.
+        static_prune: static-testability pruning mode
+            (:data:`repro.testability.analysis.PRUNE_MODES`).  ``"safe"``
+            moves the provably-untestable faults into the report's
+            untestable bucket before any simulation — they skip stage-3
+            chunking entirely and leave the FC denominator; ``"strict"``
+            additionally re-simulates every pruned fault per PTP under
+            the differential oracle and raises
+            :class:`~repro.errors.TestabilityError` if one is detected.
+            ``"off"`` (default) is the seed behavior, bit for bit.
+        rank: stage-3 worklist ordering
+            (:data:`repro.testability.analysis.RANK_MODES`); ``"scoap"``
+            simulates easiest-to-detect faults first so fault dropping
+            fires earlier.  A pure permutation: every detected set is
+            unchanged.
     """
 
     def __init__(self, module, gpu=None, collapse=True, jobs=None,
                  cache=None, metrics=None, engine="event", verify="warn",
-                 scheduler=None, chunk_size=None, pool=True):
+                 scheduler=None, chunk_size=None, pool=True,
+                 static_prune="off", rank=None):
         if verify not in VERIFY_MODES:
             raise CompactionError(
                 "verify must be one of {}, got {!r}".format(
@@ -157,8 +173,27 @@ class CompactionPipeline:
         self.verify = verify
         self.module = module
         self.gpu = gpu or Gpu()
+        if static_prune in (None, "off") and rank in (None, "none"):
+            self.static_prune, self.rank = "off", "none"
+            self._analysis = None
+        else:
+            from ..testability.analysis import (
+                TestabilityAnalysis,
+                validate_prune_mode,
+                validate_rank_mode,
+            )
+            self.static_prune = validate_prune_mode(static_prune)
+            self.rank = validate_rank_mode(rank)
+            self._analysis = TestabilityAnalysis(module.netlist)
         self.fault_report = FaultListReport(module.netlist,
-                                            collapse=collapse)
+                                            collapse=collapse,
+                                            static_prune=self.static_prune)
+        if metrics is not None and (self.static_prune != "off"
+                                    or self.rank != "none"):
+            dominance = self._analysis.dominance(self.fault_report.full_list)
+            metrics.record_static_triage(
+                self.static_prune, self.rank,
+                self.fault_report.untestable_faults, dominance.num_classes)
         self.simulator = FaultSimulator(module.netlist, engine=engine)
         self.engine = engine
         self.cache = cache
@@ -172,6 +207,37 @@ class CompactionPipeline:
                 pool=pool)
             self._owns_scheduler = True
         self.outcomes = []
+        self._eval_list = None
+
+    def _worklist(self, dropping):
+        """The stage-3 target fault list: the remaining list under
+        dropping (already minus the untestable bucket), the testable list
+        otherwise — pruned faults never reach the scheduler's chunking in
+        any mode.  ``rank="scoap"`` reorders the list (a permutation, so
+        detection sets are invariant)."""
+        if dropping:
+            target = self.fault_report.remaining
+        else:
+            target = self.evaluation_fault_list
+        if self.rank == "scoap":
+            target = FaultList(self.module.netlist,
+                               self._analysis.rank(list(target)))
+        return target
+
+    @property
+    def evaluation_fault_list(self):
+        """The FC fault list: the full collapsed list under
+        ``static_prune="off"`` (seed accounting), the testable list
+        otherwise (proven-untestable faults leave the denominator)."""
+        if self.static_prune == "off":
+            return self.fault_report.full_list
+        if self._eval_list is None:
+            pruned = frozenset(self.fault_report.untestable)
+            self._eval_list = FaultList(
+                self.module.netlist,
+                [f for f in self.fault_report.full_list
+                 if f not in pruned])
+        return self._eval_list
 
     @property
     def jobs(self):
@@ -249,12 +315,22 @@ class CompactionPipeline:
         # filtered target list) and the merged result feeds the drop
         # below, so cross-PTP dropping survives parallel execution.
         hook("fault_simulation", cycles=tracing.cycles)
-        target_list = (self.fault_report.remaining if dropping
-                       else self.fault_report.full_list)
+        target_list = self._worklist(dropping)
         with self._timed("fault_simulation"):
             fault_result = self.scheduler.run(self.simulator, patterns,
                                               target_list,
                                               skip_dropped=dropping)
+        # Strict mode: re-simulate the statically pruned faults against
+        # this PTP's patterns under the differential oracle.  Raises (and
+        # aborts before the fault report is mutated) if any proof is
+        # contradicted by an actual detection.
+        if (self.static_prune == "strict"
+                and self.fault_report.untestable_faults):
+            from ..testability.analysis import cross_check_pruned
+            checked = cross_check_pruned(self.module.netlist, patterns,
+                                         list(self.fault_report.untestable))
+            if self.metrics is not None:
+                self.metrics.record_cross_check(checked)
         labeled = label_instructions(ptp, tracing.trace, report,
                                      fault_result)
         # Stage 4: reduction.
@@ -322,13 +398,19 @@ class CompactionPipeline:
         hook("evaluation")
         with self._timed("evaluation"):
             if evaluate:
+                # Under static pruning the FC denominator is the testable
+                # list; under "off" evaluate_fc keeps building its own
+                # full list (the seed accounting, bit for bit).
+                eval_list = (self.evaluation_fault_list
+                             if self.static_prune != "off" else None)
                 original_eval = evaluate_fc(
-                    ptp, self.module, gpu=self.gpu,
+                    ptp, self.module, fault_list=eval_list, gpu=self.gpu,
                     reverse_patterns=reverse_patterns, cache=self.cache,
                     scheduler=self.scheduler, metrics=self.metrics,
                     engine=self.engine)
                 compacted_eval = evaluate_fc(
-                    reduction.compacted, self.module, gpu=self.gpu,
+                    reduction.compacted, self.module, fault_list=eval_list,
+                    gpu=self.gpu,
                     reverse_patterns=reverse_patterns, cache=self.cache,
                     scheduler=self.scheduler, metrics=self.metrics,
                     engine=self.engine)

@@ -72,9 +72,9 @@ def parse_fault_sim_report(text):
                               .format(lineno, len(parts)))
         try:
             row = tuple(int(p) for p in parts)
-        except ValueError:
+        except ValueError as exc:
             raise ReportError("FSR line {}: non-integer field in {!r}"
-                              .format(lineno, line))
+                              .format(lineno, line)) from exc
         if any(value < 0 for value in row):
             raise ReportError("FSR line {}: negative field in {!r}"
                               .format(lineno, line))
@@ -82,9 +82,9 @@ def parse_fault_sim_report(text):
     if "patterns" in header:
         try:
             declared = int(header["patterns"])
-        except ValueError:
+        except ValueError as exc:
             raise ReportError("FSR line 1: non-integer patterns={!r}"
-                              .format(header["patterns"]))
+                              .format(header["patterns"])) from exc
         if len(rows) != declared:
             raise ReportError(
                 "FSR truncated: header declares {} pattern row(s), found "
@@ -132,9 +132,9 @@ def parse_labeled_ptp(text):
                 lineno, flag))
         try:
             pc = int(pc_text)
-        except ValueError:
+        except ValueError as exc:
             raise ReportError("LPTP line {}: non-integer pc {!r}".format(
-                lineno, pc_text))
+                lineno, pc_text)) from exc
         if pc != len(rows):
             raise ReportError(
                 "LPTP line {}: pc {} out of sequence (expected {})"
@@ -145,9 +145,9 @@ def parse_labeled_ptp(text):
             continue
         try:
             declared = int(header[key])
-        except ValueError:
+        except ValueError as exc:
             raise ReportError("LPTP line 1: non-integer {}={!r}".format(
-                key, header[key]))
+                key, header[key])) from exc
         counted = sum(1 for essential, __, __t in rows
                       if essential == (key == "essential"))
         if counted != declared:

@@ -20,8 +20,7 @@ from dataclasses import dataclass
 
 from ..errors import CompactionError
 from ..gpu.gpu import Gpu
-from ..gpu.stimuli import (DecoderUnitCollector, SfuCollector,
-                           SpCoreCollector)
+from ..gpu.stimuli import DecoderUnitCollector, SfuCollector, SpCoreCollector
 from .patterns import PatternReport
 
 

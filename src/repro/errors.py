@@ -56,6 +56,14 @@ class AtpgError(ReproError):
     """ATPG engine failure (untestable fault handling, bad backtrace)."""
 
 
+class TestabilityError(ReproError):
+    """Static testability analysis misuse — or, in ``strict`` prune mode,
+    a soundness violation: a statically pruned fault was detected by the
+    differential cross-check."""
+
+    __test__ = False  # name starts with Test*; keep pytest from collecting
+
+
 class CompactionError(ReproError):
     """The compaction pipeline was driven with inconsistent inputs."""
 

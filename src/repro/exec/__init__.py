@@ -17,12 +17,10 @@ they compute:
   to the campaign checkpoint and rendered as the CLI's summary table.
 """
 
-from .cache import (ArtifactCache, cached_logic_tracing, default_cache_dir,
-                    module_fingerprint)
+from .cache import ArtifactCache, cached_logic_tracing, default_cache_dir, module_fingerprint
 from .metrics import RunMetrics
 from .pool import WorkerPool
-from .scheduler import (JOBS_ENV, ShardedFaultScheduler, resolve_jobs,
-                        run_sharded, shard_bounds)
+from .scheduler import JOBS_ENV, ShardedFaultScheduler, resolve_jobs, run_sharded, shard_bounds
 
 __all__ = [
     "ArtifactCache",

@@ -155,7 +155,7 @@ class ArtifactCache:
                                              suffix=".tmp")
         except OSError as exc:
             raise CacheError("cannot write cache entry under {!r}: {}"
-                             .format(self.directory, exc))
+                             .format(self.directory, exc)) from exc
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle, separators=(",", ":"))

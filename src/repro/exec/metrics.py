@@ -49,6 +49,9 @@ class RunMetrics:
         self.cache = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0}
         self.counters = {}
         self.pool = {}
+        self.static = {"prune_mode": "off", "rank_mode": "none",
+                       "faults_pruned_static": 0, "dominance_classes": 0,
+                       "cross_checked": 0}
 
     # -- stage timing ----------------------------------------------------
 
@@ -149,6 +152,22 @@ class RunMetrics:
         self.bump("verify.errors", errors)
         self.bump("verify.warnings", warnings)
 
+    # -- static-testability gauges ----------------------------------------
+
+    def record_static_triage(self, prune_mode, rank_mode, faults_pruned,
+                             dominance_classes):
+        """Record one module's static-testability triage (accumulating —
+        a campaign sums the pruned counts over its modules)."""
+        self.static["prune_mode"] = prune_mode
+        self.static["rank_mode"] = rank_mode
+        self.static["faults_pruned_static"] += faults_pruned
+        self.static["dominance_classes"] += dominance_classes
+
+    def record_cross_check(self, faults):
+        """Count faults re-simulated by the strict-mode differential
+        cross-check."""
+        self.static["cross_checked"] += faults
+
     # -- aggregates ------------------------------------------------------
 
     @property
@@ -213,6 +232,7 @@ class RunMetrics:
             "cache": dict(self.cache),
             "counters": dict(self.counters),
             "pool": dict(self.pool),
+            "static": dict(self.static),
         }
 
     def save(self, path):
@@ -274,6 +294,13 @@ class RunMetrics:
                          self.counters.get("verify.runs", 0),
                          self.counters.get("verify.errors", 0),
                          self.counters.get("verify.warnings", 0)))
+        lines.append("  static triage     : prune={}, rank={}, {} fault(s) "
+                     "pruned, {} dominance class(es), {} cross-checked"
+                     .format(self.static.get("prune_mode", "off"),
+                             self.static.get("rank_mode", "none"),
+                             self.static.get("faults_pruned_static", 0),
+                             self.static.get("dominance_classes", 0),
+                             self.static.get("cross_checked", 0)))
         lines.append("  cache             : {} hit(s), {} miss(es), "
                      "{} put(s), {} eviction(s)".format(
                          self.cache.get("hits", 0),

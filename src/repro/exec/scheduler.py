@@ -64,9 +64,10 @@ def resolve_jobs(jobs=None, default=1):
         if env:
             try:
                 jobs = int(env)
-            except ValueError:
+            except ValueError as exc:
                 raise SchedulerError(
-                    "{}={!r} is not an integer".format(JOBS_ENV, env))
+                    "{}={!r} is not an integer".format(JOBS_ENV,
+                                                       env)) from exc
         else:
             jobs = default if default is not None else 1
     if not isinstance(jobs, int) or jobs < 1:

@@ -6,12 +6,16 @@ the paper's flow (Section III stage 3 and the TPGEN/SFU_IMM generators).
 
 from .atpg import AtpgResult, PodemEngine, run_atpg
 from .dropping import FaultListReport
-from .fault import FaultList, OUTPUT_PIN, StuckAtFault, enumerate_faults
+from .fault import OUTPUT_PIN, FaultList, StuckAtFault, enumerate_faults
 from .fault_sim import ENGINES, FaultSimResult, FaultSimulator
 from .propagate import EventDrivenEngine, PropagationSchedule
-from .transition import (FALL, RISE, TransitionFault,
-                         TransitionFaultSimulator,
-                         enumerate_transition_faults)
+from .transition import (
+    FALL,
+    RISE,
+    TransitionFault,
+    TransitionFaultSimulator,
+    enumerate_transition_faults,
+)
 
 __all__ = [
     "StuckAtFault", "FaultList", "enumerate_faults", "OUTPUT_PIN",

@@ -50,8 +50,19 @@ from collections import defaultdict
 
 from ..errors import FaultSimError
 from .fault import OUTPUT_PIN
-from .propagate import (_AND, _BUF, _MUX, _NAND, _NOR, _NOT, _OR, _XNOR,
-                        _XOR, PropagationSchedule, evaluate_opcode)
+from .propagate import (
+    _AND,
+    _BUF,
+    _MUX,
+    _NAND,
+    _NOR,
+    _NOT,
+    _OR,
+    _XNOR,
+    _XOR,
+    PropagationSchedule,
+    evaluate_opcode,
+)
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     import numpy as _np

@@ -18,12 +18,40 @@ from .fault import FaultList
 
 
 class FaultListReport:
-    """Persistent per-module fault list with drop-on-detection updates."""
+    """Persistent per-module fault list with drop-on-detection updates.
 
-    def __init__(self, netlist, collapse=True):
+    Args:
+        netlist: the module netlist.
+        collapse: apply structural equivalence collapsing.
+        static_prune: static-prune mode (``"off"``/``"safe"``/
+            ``"strict"``).  When on, the provably-untestable faults move
+            to the :attr:`untestable` bucket before any simulation: they
+            never enter the remaining worklist and leave the FC
+            denominator (:meth:`coverage` divides by
+            :attr:`testable_faults`).  ``"off"`` preserves the seed
+            accounting exactly.
+        observed: observation nets for the untestability proofs
+            (default: primary outputs).
+    """
+
+    def __init__(self, netlist, collapse=True, static_prune="off",
+                 observed=None):
         self.netlist = netlist
         self.full_list = FaultList(netlist, collapse=collapse)
-        self.remaining = FaultList(netlist, list(self.full_list))
+        if static_prune in (None, "off"):
+            self.static_prune = "off"
+            self.untestable = FaultList(netlist, [])
+            self.proofs = {}
+        else:
+            from ..testability.analysis import TestabilityAnalysis, validate_prune_mode
+            self.static_prune = validate_prune_mode(static_prune)
+            analysis = TestabilityAnalysis(netlist, observed=observed)
+            self.proofs = analysis.untestable(self.full_list)
+            self.untestable = FaultList(netlist, list(self.proofs))
+        self._pruned_set = frozenset(self.untestable)
+        self.remaining = FaultList(
+            netlist, [f for f in self.full_list
+                      if f not in self._pruned_set])
         self._detected_by = {}  # fault -> label of the PTP that detected it
 
     @property
@@ -32,12 +60,23 @@ class FaultListReport:
         return len(self.full_list)
 
     @property
+    def untestable_faults(self):
+        """Size of the proven-untestable bucket (0 under ``"off"``)."""
+        return len(self.untestable)
+
+    @property
+    def testable_faults(self):
+        """The FC denominator under static pruning: total minus proven
+        untestable."""
+        return self.total_faults - self.untestable_faults
+
+    @property
     def remaining_faults(self):
         return len(self.remaining)
 
     @property
     def detected_faults(self):
-        return self.total_faults - self.remaining_faults
+        return self.testable_faults - self.remaining_faults
 
     def detected_by(self, fault):
         """Label of the PTP that first detected *fault* (None if alive)."""
@@ -87,14 +126,23 @@ class FaultListReport:
         return count, records
 
     def coverage(self):
-        """Cumulative fault coverage (%) over the full module fault list."""
-        if self.total_faults == 0:
+        """Cumulative fault coverage (%) over the module fault list.
+
+        Denominator: all faults under ``static_prune="off"`` (the seed
+        accounting), the testable faults otherwise — proven-untestable
+        faults are not achievable coverage, so keeping them in the
+        denominator would cap FC below 100% for reasons no pattern can
+        fix.
+        """
+        if self.testable_faults == 0:
             return 0.0
-        return 100.0 * self.detected_faults / self.total_faults
+        return 100.0 * self.detected_faults / self.testable_faults
 
     def reset(self):
         """Restore the full fault list (new compaction campaign)."""
-        self.remaining = FaultList(self.netlist, list(self.full_list))
+        self.remaining = FaultList(
+            self.netlist, [f for f in self.full_list
+                           if f not in self._pruned_set])
         self._detected_by = {}
 
     # -- checkpoint state -----------------------------------------------
@@ -108,13 +156,20 @@ class FaultListReport:
         processes.  ``total_faults`` doubles as a compatibility
         fingerprint for :meth:`restore_state`.
         """
-        return {
+        state = {
             "total_faults": self.total_faults,
             "detected": [[self.full_list.id_of(fault), label]
                          for fault, label in sorted(
                              self._detected_by.items(),
                              key=lambda item: self.full_list.id_of(item[0]))],
         }
+        # Under "off" the snapshot is byte-identical to the seed format,
+        # so existing checkpoints/fingerprints stay valid; under pruning
+        # the mode is recorded so checkpoints cannot silently cross
+        # accounting regimes.
+        if self.static_prune != "off":
+            state["static_prune"] = self.static_prune
+        return state
 
     def fingerprint(self):
         """Stable SHA-256 hex digest of the dropping state.
@@ -143,6 +198,11 @@ class FaultListReport:
             raise FaultSimError(
                 "checkpointed fault list has {} faults, module has {}"
                 .format(state.get("total_faults"), self.total_faults))
+        snap_prune = state.get("static_prune", "off")
+        if snap_prune != self.static_prune:
+            raise FaultSimError(
+                "checkpoint was taken under static_prune={!r}, report "
+                "runs under {!r}".format(snap_prune, self.static_prune))
         detected_by = {}
         for fault_id, label in state.get("detected", []):
             if not 0 <= fault_id < self.total_faults:
@@ -152,4 +212,5 @@ class FaultListReport:
         self._detected_by = detected_by
         self.remaining = FaultList(
             self.netlist,
-            [f for f in self.full_list if f not in detected_by])
+            [f for f in self.full_list
+             if f not in detected_by and f not in self._pruned_set])

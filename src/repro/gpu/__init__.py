@@ -7,15 +7,20 @@ producing the per-cc tracing report and per-module test-pattern streams the
 compaction method consumes.
 """
 
-from .config import GpuConfig, KernelConfig, WARP_SIZE
+from .config import WARP_SIZE, GpuConfig, KernelConfig
 from .gpu import Gpu, KernelResult
 from .memory import MemorySystem, WordMemory
 from .monitor import Monitor
 from .regfile import RegisterFile
 from .simt_stack import SimtStack
 from .sm import SM, WarpState
-from .stimuli import (DecoderUnitCollector, SfuCollector, SpCoreCollector,
-                      StimulusCollector, StimulusRecord)
+from .stimuli import (
+    DecoderUnitCollector,
+    SfuCollector,
+    SpCoreCollector,
+    StimulusCollector,
+    StimulusRecord,
+)
 from .trace import TraceRecord, parse_trace_report, write_trace_report
 
 __all__ = [

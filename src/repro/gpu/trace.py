@@ -74,5 +74,6 @@ def parse_trace_report(text):
                 exec_start_cc=int(parts[5]), exec_end_cc=int(parts[6]),
                 active_mask=int(parts[7], 16), exec_mask=int(parts[8], 16)))
         except ValueError as exc:
-            raise ReportError("trace line {}: {}".format(lineno, exc))
+            raise ReportError("trace line {}: {}".format(lineno,
+                                                           exc)) from exc
     return records

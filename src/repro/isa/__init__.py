@@ -16,13 +16,31 @@ Public surface:
 
 from .assembler import assemble
 from .disassembler import disassemble, format_instruction
-from .encoding import (WORD_BITS, bits_to_word, decode, decode_program,
-                       encode, encode_program, word_to_bits)
-from .instruction import (IMM24_MAX, MASK32, NUM_PREDS, NUM_REGS, Instruction,
-                          Pred, Program)
-from .opcodes import (CmpOp, Fmt, NUM_OPCODES, Op, OpcodeInfo, SpecialReg,
-                      Unit, info, is_branch, is_control, is_immediate_form,
-                      is_memory, unit_of)
+from .encoding import (
+    WORD_BITS,
+    bits_to_word,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+    word_to_bits,
+)
+from .instruction import IMM24_MAX, MASK32, NUM_PREDS, NUM_REGS, Instruction, Pred, Program
+from .opcodes import (
+    NUM_OPCODES,
+    CmpOp,
+    Fmt,
+    Op,
+    OpcodeInfo,
+    SpecialReg,
+    Unit,
+    info,
+    is_branch,
+    is_control,
+    is_immediate_form,
+    is_memory,
+    unit_of,
+)
 
 __all__ = [
     "assemble", "disassemble", "format_instruction",

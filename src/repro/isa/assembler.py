@@ -26,7 +26,7 @@ import re
 
 from ..errors import AssemblyError
 from .instruction import Instruction, Pred, Program
-from .opcodes import BY_MNEMONIC, CMP_BY_NAME, Fmt, SREG_BY_NAME, info
+from .opcodes import BY_MNEMONIC, CMP_BY_NAME, SREG_BY_NAME, Fmt, info
 
 _LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):$")
 _PRED_RE = re.compile(r"^@(!?)P([0-3])$")
@@ -48,9 +48,9 @@ def _strip_comment(line):
 def _parse_int(text, lineno):
     try:
         return int(text, 0)
-    except ValueError:
+    except ValueError as exc:
         raise AssemblyError("invalid integer literal {!r}".format(text),
-                            lineno)
+                            lineno) from exc
 
 
 def _parse_reg(text, lineno):
@@ -144,10 +144,10 @@ def assemble(source):
             else:
                 try:
                     target = int(target_text, 0)
-                except ValueError:
+                except ValueError as exc:
                     raise AssemblyError(
                         "undefined label {!r}".format(target_text),
-                        item.lineno)
+                        item.lineno) from exc
             # An out-of-range target would escape assembly only to crash
             # later in CFG construction (find_leaders indexes by target)
             # or tracing; reject it here with the source location.  This

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from ..errors import EncodingError
 from .instruction import Instruction, Pred
-from .opcodes import BY_CODE, CMP_BY_CODE, Fmt, SREG_BY_CODE, info
+from .opcodes import BY_CODE, CMP_BY_CODE, SREG_BY_CODE, Fmt, info
 
 #: Width of one instruction word in bits.
 WORD_BITS = 64

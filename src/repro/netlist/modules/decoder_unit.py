@@ -25,7 +25,7 @@ Ports:
 
 from __future__ import annotations
 
-from ...isa.opcodes import Fmt, INFO, Op, Unit
+from ...isa.opcodes import INFO, Fmt, Op, Unit
 from .. import builder as bd
 from ..gates import GateType
 from ..netlist import CONST0, Netlist

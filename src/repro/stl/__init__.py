@@ -5,13 +5,17 @@ modules, built with the pseudorandom and ATPG-based styles the paper
 describes, all structured as Small Blocks (load / execute / propagate).
 """
 
-from .builder import (DATA_BASE, OUTPUT_BASE, PtpBuilder, SIGNATURE_BASE,
-                      TID_REG)
-from .generators import (generate_cntrl, generate_imm, generate_mem,
-                         generate_rand, generate_sfu_imm, generate_tpgen)
+from .builder import DATA_BASE, OUTPUT_BASE, SIGNATURE_BASE, TID_REG, PtpBuilder
+from .generators import (
+    generate_cntrl,
+    generate_imm,
+    generate_mem,
+    generate_rand,
+    generate_sfu_imm,
+    generate_tpgen,
+)
 from .ptp import ParallelTestProgram, SelfTestLibrary
-from .signature import (difference_fold, emit_misr_update, misr_fold,
-                        misr_update, rotl)
+from .signature import difference_fold, emit_misr_update, misr_fold, misr_update, rotl
 
 __all__ = [
     "ParallelTestProgram", "SelfTestLibrary", "PtpBuilder",

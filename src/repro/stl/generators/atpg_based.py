@@ -31,7 +31,7 @@ from ...isa.instruction import Instruction
 from ...isa.opcodes import CmpOp, Op
 from ...netlist.modules.sfu import FUNC_CODES
 from ...netlist.modules.sp_core import SPOp
-from ..builder import PtpBuilder, TID_REG
+from ..builder import TID_REG, PtpBuilder
 
 #: SP micro-op -> ISA instruction used to realize its patterns.
 SPOP_TO_ISA = {
@@ -58,14 +58,17 @@ def _sp_pattern_tuples(module, atpg_result):
     patterns = atpg_result.patterns
     words = module.input_words
     tuples = []
+
+    def word_value(port, k):
+        value = 0
+        for i, net in enumerate(words[port]):
+            value |= patterns.value_of(net, k) << i
+        return value
+
     for k in range(patterns.count):
-        def word_value(port):
-            value = 0
-            for i, net in enumerate(words[port]):
-                value |= patterns.value_of(net, k) << i
-            return value
-        tuples.append((word_value("op"), word_value("cmp"),
-                       word_value("a"), word_value("b"), word_value("c")))
+        tuples.append((word_value("op", k), word_value("cmp", k),
+                       word_value("a", k), word_value("b", k),
+                       word_value("c", k)))
     return tuples
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from ...gpu.config import KernelConfig
 from ...isa.instruction import Instruction, Pred
 from ...isa.opcodes import CmpOp, Op
-from ..builder import PtpBuilder, TID_REG
+from ..builder import TID_REG, PtpBuilder
 from . import base
 
 #: Constant-memory word holding the parametric loop's trip count.

@@ -15,7 +15,7 @@ from __future__ import annotations
 from ...gpu.config import KernelConfig
 from ...isa.instruction import Instruction
 from ...isa.opcodes import Op
-from ..builder import PtpBuilder, TID_REG
+from ..builder import TID_REG, PtpBuilder
 from . import base
 
 #: Shared-memory scratch window used by SLD/SST (per-thread addressed).

@@ -89,7 +89,7 @@ def ptp_from_dict(data):
         memory = {int(k): v for k, v in data.get("memory", {}).items()}
         return _ptp_from_parts(program, data, memory)
     except (KeyError, TypeError, ValueError) as exc:
-        raise ReportError("malformed PTP dict: {!r}".format(exc))
+        raise ReportError("malformed PTP dict: {!r}".format(exc)) from exc
 
 
 def save_ptp(ptp, directory):
@@ -114,11 +114,11 @@ def load_ptp(directory):
         with open(os.path.join(directory, _MEMORY_FILE)) as handle:
             memory = {int(k): v for k, v in json.load(handle).items()}
     except OSError as exc:
-        raise ReportError("cannot load PTP from {!r}: {}".format(directory,
-                                                                 exc))
+        raise ReportError("cannot load PTP from {!r}: {}"
+                          .format(directory, exc)) from exc
     except (json.JSONDecodeError, ValueError) as exc:
-        raise ReportError("corrupt PTP files in {!r}: {}".format(directory,
-                                                                 exc))
+        raise ReportError("corrupt PTP files in {!r}: {}"
+                          .format(directory, exc)) from exc
     return _ptp_from_parts(program, meta, memory)
 
 
@@ -145,7 +145,7 @@ def load_stl(directory):
                 names = json.load(handle)["ptps"]
         except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
             raise ReportError("corrupt STL manifest {!r}: {}".format(
-                manifest, exc))
+                manifest, exc)) from exc
     else:
         if not os.path.isdir(directory):
             raise ReportError("no STL directory {!r}".format(directory))

@@ -53,10 +53,10 @@ class ParallelTestProgram:
         for hint in self.sb_hints:
             try:
                 start, end = hint
-            except (TypeError, ValueError):
+            except (TypeError, ValueError) as exc:
                 raise CompactionError(
                     "PTP {!r}: sb_hint {!r} is not a (start, end) pair"
-                    .format(self.name, hint))
+                    .format(self.name, hint)) from exc
             if not (isinstance(start, int) and isinstance(end, int)) \
                     or not 0 <= start < end <= size:
                 raise CompactionError(

@@ -1,0 +1,166 @@
+"""Dominance collapsing over fanout-free dominator chains.
+
+The structural equivalence collapsing of
+:func:`repro.faults.fault.enumerate_faults` only removes *input-pin*
+faults; the stem faults along a fanout-free chain remain individually
+listed even though classic fault-collapsing theory relates them:
+
+* for a gate with a controlling value ``c`` (AND/NAND/OR/NOR) whose
+  input net ``a`` is **fanout-free** (read by this gate only, not
+  observed), the stem fault ``a s-a-c`` is *equivalent* to the output
+  stem fault at the controlled response — identical detection sets;
+* the output stem fault at the *opposite* response **dominates**
+  ``a s-a-(1-c)``: every test for the input fault also detects the
+  output fault (the input fault's activation forces the output to flip
+  the same way).  BUF/NOT chains are pure equivalences.
+
+Collapsing keeps only the **dominated representative** of each class —
+the member closest to the primary inputs, whose detection implies the
+detection of every other member — and records an id-preserving class
+map so reports can still attribute every original fault.  The class map
+is *attribution* machinery, not a pruning proof: a pattern set that
+misses the representative may still detect a dominator, so the
+compaction flow never drops dominated classes from the simulated list
+(only proven-untestable faults are pruned; see
+:mod:`repro.testability.untestable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults.fault import OUTPUT_PIN, StuckAtFault, fault_sort_key
+from ..netlist.gates import CONTROLLING_VALUE, GateType, is_inverting
+
+
+@dataclass
+class DominanceResult:
+    """Outcome of :func:`collapse_dominance`.
+
+    Attributes:
+        fault_list: the analyzed fault collection (iteration order is
+            preserved everywhere below).
+        representative: ``{fault: representative}`` for **every** fault
+            (identity mapping for class representatives) — the
+            id-preserving class map.
+        classes: ``{representative: [members...]}`` in fault-list order;
+            singleton classes included.
+    """
+
+    fault_list: object
+    representative: dict
+    classes: dict
+
+    @property
+    def num_classes(self):
+        return len(self.classes)
+
+    @property
+    def collapsed(self):
+        """The kept representatives, in fault-list order."""
+        return [f for f in self.fault_list
+                if self.representative[f] is f]
+
+    @property
+    def num_collapsed_away(self):
+        return len(self.representative) - self.num_classes
+
+    def members_of(self, fault):
+        """Every original fault sharing *fault*'s class."""
+        return self.classes[self.representative[fault]]
+
+
+def _stem_links(netlist, observed_set):
+    """Yield ``(removed_stem, kept_stem)`` link pairs over fanout-free
+    dominator chains.  ``kept`` is always the gate-input side (closer to
+    the primary inputs), so chains resolve transitively toward PIs."""
+    for gate in netlist.gates:
+        out = gate.output
+        driver = gate.index
+        if gate.gate_type in (GateType.BUF, GateType.NOT):
+            candidates = [(0, True)]       # (pin, both_values_equivalent)
+        elif gate.gate_type in CONTROLLING_VALUE:
+            candidates = [(pin, False) for pin in range(len(gate.inputs))]
+        else:
+            continue                       # XOR/XNOR/MUX: no chain rule
+        for pin, is_buffer in candidates:
+            net = gate.inputs[pin]
+            if net in observed_set:
+                continue
+            if len(netlist.fanout_gates(net)) != 1:
+                continue
+            in_driver = netlist.driver_of(net)
+            if in_driver is None and net not in netlist.inputs:
+                continue                   # tied constant pin
+            inverting = is_inverting(gate.gate_type)
+            if is_buffer:
+                pairs = [(value, value ^ (1 if inverting else 0))
+                         for value in (0, 1)]
+            else:
+                c = CONTROLLING_VALUE[gate.gate_type]
+                response = c ^ (1 if inverting else 0)
+                # Equivalence: input s-a-c == output s-a-response;
+                # dominance: output s-a-(1-response) covers input
+                # s-a-(1-c).  Both links keep the input-side fault.
+                pairs = [(c, response), (1 - c, 1 - response)]
+            for in_value, out_value in pairs:
+                kept = StuckAtFault(net, in_driver, OUTPUT_PIN, in_value)
+                removed = StuckAtFault(out, driver, OUTPUT_PIN, out_value)
+                yield removed, kept
+
+
+def collapse_dominance(netlist, fault_list, observed=None):
+    """Collapse *fault_list* along fanout-free dominator chains.
+
+    Args:
+        netlist: the finalized netlist the faults belong to.
+        fault_list: iterable of :class:`~repro.faults.fault.StuckAtFault`
+            (typically a collapsed :class:`~repro.faults.fault.FaultList`).
+        observed: observation-point nets (default: primary outputs);
+            a net that is itself observed breaks the chain through it.
+
+    Returns:
+        A :class:`DominanceResult` whose class map covers every input
+        fault.  Faults absent from *fault_list* never join a class, so
+        the map is closed over the given list.
+    """
+    netlist.finalize()
+    if observed is None:
+        observed = list(netlist.outputs)
+    observed_set = set(observed)
+    # Map equal-by-value link endpoints back to the fault list's own
+    # instances, so the class map satisfies identity (`rep is fault`)
+    # checks, not just equality.
+    present = {fault: fault for fault in fault_list}
+
+    parent = {}
+    for removed, kept in _stem_links(netlist, observed_set):
+        # First link wins: an output stem reachable through several
+        # fanout-free pins joins exactly one class, deterministically
+        # (gate order, then pin order).  Links always point from a gate
+        # output to one of its input nets, so chains cannot cycle.
+        if removed in present and kept in present and removed not in parent:
+            parent[removed] = present[kept]
+
+    def resolve(fault):
+        chain = []
+        while fault in parent:
+            chain.append(fault)
+            fault = parent[fault]
+        for link in chain:       # path compression
+            parent[link] = fault
+        return fault
+
+    representative = {}
+    classes = {}
+    for fault in fault_list:
+        rep = resolve(fault)
+        representative[fault] = rep
+        classes.setdefault(rep, []).append(fault)
+    # Deterministic class listing: members already in fault-list order;
+    # order the classes by their representative's sort key.
+    ordered = {rep: classes[rep]
+               for rep in sorted(classes, key=fault_sort_key)}
+    return DominanceResult(fault_list=fault_list,
+                           representative=representative,
+                           classes=ordered)

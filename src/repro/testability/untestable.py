@@ -1,0 +1,308 @@
+"""Untestability proofs: faults decidable without a single simulation.
+
+Three proof families, each *sound by construction* (a proven fault can
+never be detected by any pattern set, under any of the propagation
+engines — the hypothesis oracle in ``tests/testability`` and the strict
+cross-check in :func:`repro.testability.analysis.cross_check_pruned`
+re-verify this dynamically):
+
+* **UT001 (constant site)** — forward constant propagation from the
+  tied ``CONST0``/``CONST1`` nets (plus the structural identities
+  ``XOR(a, a) = 0`` / ``XNOR(a, a) = 1``) proves the fault site holds
+  the stuck value under *every* pattern, so the fault is never
+  activated.  Activation is a good-machine-only condition, which is
+  what makes this proof unconditional.
+* **UT002 (dangling cone)** — no structural path exists from the
+  fault's seed net (the faulted net for stems, the reading gate's
+  output for pin faults) to any observed net: nothing downstream is
+  ever compared, so no difference can be detected.
+* **UT003 (blocked propagation)** — a single forward implication pass
+  over the seed's fanout cone proves every path to an observed net
+  crosses a gate whose side input is constant at the controlling value
+  *and* outside the fault's own cone (so the faulty machine cannot
+  unblock it): the difference provably dies before any observation
+  point.  The same rule applied to the reading gate itself proves pin
+  faults whose gate output can never change.
+
+The reconvergence caveat is load-bearing for UT003: a constant side
+input *inside* the fault's cone may differ in the faulty machine, so it
+never blocks — the implication pass tracks the affected-net set and only
+blocks on constants that stay constant under the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults.fault import OUTPUT_PIN
+from ..netlist.gates import CONTROLLING_VALUE, GateType, evaluate
+from ..netlist.netlist import CONST0, CONST1
+
+#: Proof-kind catalog: kind id -> one-line title (mirrors the verifier's
+#: rule catalog in :mod:`repro.verify.diagnostics`).
+PROOF_KINDS = {
+    "UT001": "fault site is constant at the stuck value",
+    "UT002": "no structural path from the fault site to an observed net",
+    "UT003": "every propagation path is blocked by a constant side input",
+}
+
+
+@dataclass(frozen=True)
+class UntestabilityProof:
+    """One proof that a fault is undetectable (Diagnostic-style record).
+
+    Attributes:
+        kind: proof kind id from :data:`PROOF_KINDS`.
+        fault: the proven :class:`~repro.faults.fault.StuckAtFault`.
+        message: human-readable proof sketch for this occurrence.
+    """
+
+    kind: str
+    fault: object
+    message: str
+
+    def render(self, netlist=None):
+        """One-line text form: ``[UT001] net 3 s-a-0: message``."""
+        return "[{}] {}: {}".format(self.kind,
+                                    self.fault.describe(netlist),
+                                    self.message)
+
+    def to_dict(self):
+        return {
+            "kind": self.kind,
+            "title": PROOF_KINDS[self.kind],
+            "fault": {
+                "net": self.fault.net,
+                "gate": self.fault.gate,
+                "pin": self.fault.pin,
+                "stuck_at": self.fault.stuck_at,
+            },
+            "message": self.message,
+        }
+
+
+def propagate_constants(netlist):
+    """Nets provably constant under every pattern: ``{net: 0 or 1}``.
+
+    One forward pass over the levelized gates, seeded by the tied
+    constant nets; includes the same-net structural identities
+    (``XOR(a, a)``/``XNOR(a, a)``) that plain value propagation misses.
+    Only gate outputs whose constancy follows from these rules are
+    reported — the map is sound, not complete.
+    """
+    netlist.finalize()
+    const = {CONST0: 0, CONST1: 1}
+    for gate in netlist.levelized_gates:
+        value = _constant_output(gate.gate_type, gate.inputs, const)
+        if value is not None:
+            const[gate.output] = value
+    return const
+
+
+def _constant_output(gate_type, inputs, const):
+    """Constant value of a gate output, or None when not provable."""
+    values = [const.get(net) for net in inputs]
+    if all(v is not None for v in values):
+        mask = 1
+        return evaluate(gate_type, tuple(values), mask) & 1
+    if gate_type in (GateType.AND, GateType.NAND):
+        if 0 in values:
+            return 1 if gate_type is GateType.NAND else 0
+    elif gate_type in (GateType.OR, GateType.NOR):
+        if 1 in values:
+            return 0 if gate_type is GateType.NOR else 1
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        if inputs[0] == inputs[1]:
+            return 1 if gate_type is GateType.XNOR else 0
+    elif gate_type is GateType.MUX:
+        a, b, sel = inputs
+        va, vb, vsel = values
+        if vsel == 0:
+            return va
+        if vsel == 1:
+            return vb
+        if va is not None and va == vb:
+            return va
+        if a == b:
+            return va
+    return None
+
+
+class UntestabilityProver:
+    """Static untestability analysis of one netlist + observed set.
+
+    Args:
+        netlist: finalized netlist.
+        observed: observation-point nets (default: primary outputs).
+        constants: optional precomputed :func:`propagate_constants` map.
+    """
+
+    def __init__(self, netlist, observed=None, constants=None):
+        netlist.finalize()
+        self.netlist = netlist
+        if observed is None:
+            observed = list(netlist.outputs)
+        self.observed = tuple(observed)
+        self._observed_set = frozenset(observed)
+        self.constants = (constants if constants is not None
+                          else propagate_constants(netlist))
+        self._reach = self._structural_reach()
+        # The per-seed implication pass only matters when some gate has a
+        # constant side input to block on.
+        self._has_blockers = any(
+            net in self.constants
+            for gate in netlist.gates for net in gate.inputs)
+        self._affect_cache = {}
+
+    def _structural_reach(self):
+        """Per-net bool: does a structural path to any observed net
+        exist?  One reverse-topological pass."""
+        netlist = self.netlist
+        reach = [False] * netlist.num_nets
+        for net in self._observed_set:
+            reach[net] = True
+        for gate in reversed(netlist.levelized_gates):
+            if reach[gate.output]:
+                for net in gate.inputs:
+                    reach[net] = True
+        return reach
+
+    # -- the per-seed implication pass ----------------------------------
+
+    def _reaches_observed(self, seed):
+        """Can a difference seeded at *seed* possibly reach an observed
+        net?  One forward pass over the seed's fanout cone tracking the
+        affected-net set: a gate transmits a difference from pin ``p``
+        only if no *other* pin is constant at the controlling value and
+        outside the affected set (result cached per seed)."""
+        cached = self._affect_cache.get(seed)
+        if cached is not None:
+            return cached
+        netlist = self.netlist
+        const = self.constants
+        observed = self._observed_set
+        affected = {seed}
+        reaches = seed in observed
+        # cone_from_net returns gate indices sorted ascending = topological.
+        for index in netlist.cone_from_net(seed):
+            gate = netlist.gates[index]
+            if self._transmits(gate, affected, const):
+                affected.add(gate.output)
+                if gate.output in observed:
+                    reaches = True
+        self._affect_cache[seed] = reaches
+        return reaches
+
+    def _transmits(self, gate, affected, const):
+        """Can *gate*'s output differ, given the *affected* input nets?"""
+        inputs = gate.inputs
+        gate_type = gate.gate_type
+        for pin, net in enumerate(inputs):
+            if net not in affected:
+                continue
+            if not self._blocked(gate_type, inputs, pin, affected, const):
+                return True
+        return False
+
+    def _blocked(self, gate_type, inputs, pin, affected, const):
+        """Is the difference on input *pin* provably unable to reach the
+        gate output?  A side input blocks only when it is constant at
+        the controlling value AND not itself affectable (a constant
+        inside the fault's cone can differ in the faulty machine)."""
+        controlling = CONTROLLING_VALUE.get(gate_type)
+        if controlling is not None:
+            for q, other in enumerate(inputs):
+                if q == pin or other in affected:
+                    continue
+                if const.get(other) == controlling:
+                    return True
+            return False
+        if gate_type is GateType.MUX:
+            a, b, sel = inputs
+            if pin == 0:   # diff on a: invisible while sel is stuck 1
+                return const.get(sel) == 1 and sel not in affected
+            if pin == 1:   # diff on b: invisible while sel is stuck 0
+                return const.get(sel) == 0 and sel not in affected
+            # diff on sel: invisible when a and b provably agree.
+            va, vb = const.get(a), const.get(b)
+            if a == b and a not in affected:
+                return True
+            return (va is not None and va == vb
+                    and a not in affected and b not in affected)
+        return False   # BUF/NOT/XOR/XNOR always transmit
+
+    # -- proofs ----------------------------------------------------------
+
+    def prove(self, fault):
+        """An :class:`UntestabilityProof` for *fault*, or None when no
+        static proof applies (the fault may still be undetectable —
+        these proofs are sound, not complete)."""
+        const = self.constants
+        site = const.get(fault.net)
+        if site is not None and site == fault.stuck_at:
+            return UntestabilityProof(
+                "UT001", fault,
+                "site is constant {} under every pattern (never "
+                "activated)".format(site))
+
+        if fault.pin == OUTPUT_PIN:
+            seed = fault.net
+        else:
+            gate = self.netlist.gates[fault.gate]
+            blocked = self._pin_gate_blocked(gate, fault.pin)
+            if blocked is not None:
+                return UntestabilityProof("UT003", fault, blocked)
+            seed = gate.output
+
+        if not self._reach[seed]:
+            return UntestabilityProof(
+                "UT002", fault,
+                "net {} has no structural path to any of the {} observed "
+                "net(s)".format(seed, len(self.observed)))
+
+        if self._has_blockers and not self._reaches_observed(seed):
+            return UntestabilityProof(
+                "UT003", fault,
+                "every path from net {} to an observed net crosses a "
+                "constant-blocked gate".format(seed))
+        return None
+
+    def _pin_gate_blocked(self, gate, pin):
+        """Proof message when the reading gate's output provably cannot
+        change under the pin fault (side inputs carry good values for a
+        pin fault, so a constant controlling side input always blocks)."""
+        inputs = gate.inputs
+        gate_type = gate.gate_type
+        const = self.constants
+        controlling = CONTROLLING_VALUE.get(gate_type)
+        if controlling is not None:
+            for q, other in enumerate(inputs):
+                if q != pin and const.get(other) == controlling:
+                    return ("side input net {} of g{} is constant {} "
+                            "(controlling): the gate output never changes"
+                            .format(other, gate.index, controlling))
+            return None
+        if gate_type is GateType.MUX:
+            a, b, sel = inputs
+            if pin == 0 and const.get(sel) == 1:
+                return ("g{} select is constant 1: the a-input is never "
+                        "visible".format(gate.index))
+            if pin == 1 and const.get(sel) == 0:
+                return ("g{} select is constant 0: the b-input is never "
+                        "visible".format(gate.index))
+            if pin == 2:
+                va, vb = const.get(a), const.get(b)
+                if a == b or (va is not None and va == vb):
+                    return ("g{} data inputs provably agree: the select "
+                            "is never visible".format(gate.index))
+        return None
+
+    def untestable(self, faults):
+        """Ordered ``{fault: proof}`` for every provable fault of
+        *faults*."""
+        proofs = {}
+        for fault in faults:
+            proof = self.prove(fault)
+            if proof is not None:
+                proofs[fault] = proof
+        return proofs

@@ -19,11 +19,16 @@ Entry points: :func:`verify_ptp`, :func:`verify_compaction`, and the
 catalog.
 """
 
-from .diagnostics import (ERROR, RULES, WARNING, Diagnostic,
-                          VerificationReport)
+from .diagnostics import ERROR, RULES, WARNING, Diagnostic, VerificationReport
 from .diffcheck import check_compaction
-from .verifier import (DEFAULT_PASSES, PtpVerifier, VerifyContext,
-                       build_context, verify_compaction, verify_ptp)
+from .verifier import (
+    DEFAULT_PASSES,
+    PtpVerifier,
+    VerifyContext,
+    build_context,
+    verify_compaction,
+    verify_ptp,
+)
 
 __all__ = [
     "Diagnostic", "VerificationReport", "RULES", "ERROR", "WARNING",

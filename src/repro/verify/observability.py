@@ -26,8 +26,8 @@ from __future__ import annotations
 
 from ..isa.opcodes import Op
 from ..stl.signature import SIG_REG
-from .diagnostics import Diagnostic
 from .dataflow import _block_order
+from .diagnostics import Diagnostic
 
 _STORE_OPS = (Op.GST, Op.SST)
 

@@ -2,10 +2,17 @@
 
 import pytest
 
-from repro.analysis import (Experiment, SMOKE, combined_outcome_row,
-                            compaction_rows, paper_data,
-                            render_compaction_table, render_table1,
-                            stl_aggregate, table1_rows)
+from repro.analysis import (
+    SMOKE,
+    Experiment,
+    combined_outcome_row,
+    compaction_rows,
+    paper_data,
+    render_compaction_table,
+    render_table1,
+    stl_aggregate,
+    table1_rows,
+)
 
 
 def test_paper_constants_sanity():

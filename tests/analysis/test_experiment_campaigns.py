@@ -1,15 +1,17 @@
 """Experiment driver details not covered by the integration suite."""
 
+import dataclasses
+
 import pytest
 
-from repro.analysis import Experiment, ExperimentScale, SMOKE
+from repro.analysis import SMOKE, Experiment, ExperimentScale
 
 
 def test_scale_is_frozen_and_overridable():
     scale = ExperimentScale(datapath_width=8, imm_sbs=3)
     assert scale.datapath_width == 8
     assert scale.imm_sbs == 3
-    with pytest.raises(Exception):
+    with pytest.raises(dataclasses.FrozenInstanceError):
         scale.imm_sbs = 4  # frozen dataclass
 
 
@@ -38,6 +40,6 @@ def test_stl_respects_scale_knobs():
 
 def test_atpg_results_exposed():
     experiment = Experiment(SMOKE)
-    experiment.stl  # force generation
+    assert experiment.stl  # force generation
     assert set(experiment._atpg) == {"TPGEN", "SFU_IMM"}
     assert experiment._atpg["TPGEN"].patterns.count > 0

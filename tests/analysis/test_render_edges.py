@@ -1,8 +1,13 @@
 """Table rendering edge cases."""
 
-from repro.analysis.tables import (TableRow, _fmt, compaction_rows,
-                                   render_compaction_table, render_table1,
-                                   table1_rows)
+from repro.analysis.tables import (
+    TableRow,
+    _fmt,
+    compaction_rows,
+    render_compaction_table,
+    render_table1,
+    table1_rows,
+)
 
 
 def test_fmt_handles_none_float_int():

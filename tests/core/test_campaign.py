@@ -2,15 +2,16 @@
 
 import pytest
 
-from repro.core import (CampaignCheckpoint, CompactionCampaign,
-                        CompactionPipeline, run_stl_campaign,
-                        write_campaign_summary)
-from repro.core.campaign import (COMPACTED, FAILED, ROLLED_BACK, SKIPPED,
-                                 Watchdog)
-from repro.errors import (CampaignError, CompactionError, CycleBudgetError,
-                          PtpTimeoutError)
-from repro.stl import (SelfTestLibrary, generate_cntrl, generate_imm,
-                       generate_mem, generate_rand)
+from repro.core import (
+    CampaignCheckpoint,
+    CompactionCampaign,
+    CompactionPipeline,
+    run_stl_campaign,
+    write_campaign_summary,
+)
+from repro.core.campaign import COMPACTED, FAILED, ROLLED_BACK, SKIPPED, Watchdog
+from repro.errors import CampaignError, CompactionError, CycleBudgetError, PtpTimeoutError
+from repro.stl import SelfTestLibrary, generate_cntrl, generate_imm, generate_mem, generate_rand
 
 
 def _du_stl(num_sbs=5):

@@ -1,7 +1,6 @@
 """CFG construction: leaders, edges, loops, immediate-only analysis."""
 
-from repro.core.cfg import (build_cfg, find_leaders, find_loops,
-                            is_immediate_only_def)
+from repro.core.cfg import build_cfg, find_leaders, find_loops, is_immediate_only_def
 from repro.isa import assemble
 
 

@@ -10,13 +10,11 @@ import os
 
 import pytest
 
-from repro.core import (CampaignCheckpoint, CompactionCampaign,
-                        CompactionPipeline)
+from repro.core import CampaignCheckpoint, CompactionCampaign, CompactionPipeline
 from repro.core.campaign import COMPACTED, SKIPPED
 from repro.core.pipeline import CompactionPipeline as _Pipeline
 from repro.errors import CheckpointError
-from repro.stl import (SelfTestLibrary, generate_cntrl, generate_imm,
-                       generate_mem)
+from repro.stl import SelfTestLibrary, generate_cntrl, generate_imm, generate_mem
 
 
 def _du_stl(num_sbs=4):

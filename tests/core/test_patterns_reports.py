@@ -3,11 +3,13 @@
 import pytest
 
 from repro.core.labeling import label_instructions
-from repro.core.patterns import (parse_pattern_report,
-                                 write_pattern_report)
-from repro.core.reports import (parse_fault_sim_report,
-                                write_compaction_summary,
-                                write_fault_sim_report, write_labeled_ptp)
+from repro.core.patterns import parse_pattern_report, write_pattern_report
+from repro.core.reports import (
+    parse_fault_sim_report,
+    write_compaction_summary,
+    write_fault_sim_report,
+    write_labeled_ptp,
+)
 from repro.core.tracing import run_logic_tracing
 from repro.errors import ReportError
 from repro.faults import FaultList, FaultSimulator

@@ -4,8 +4,7 @@ import pytest
 
 from repro.core import CompactionPipeline, evaluate_fc, run_logic_tracing
 from repro.errors import CompactionError
-from repro.stl import (SelfTestLibrary, generate_cntrl, generate_imm,
-                       generate_mem, generate_rand)
+from repro.stl import SelfTestLibrary, generate_cntrl, generate_imm, generate_mem, generate_rand
 
 
 @pytest.fixture()

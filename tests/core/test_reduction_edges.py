@@ -2,8 +2,7 @@
 
 from repro.core.labeling import label_instructions
 from repro.core.partition import partition_ptp
-from repro.core.reduction import (_hammock_spans, reduce_ptp,
-                                  segment_small_blocks)
+from repro.core.reduction import _hammock_spans, reduce_ptp, segment_small_blocks
 from repro.core.tracing import run_logic_tracing
 from repro.faults.fault_sim import FaultSimResult
 from repro.gpu.config import KernelConfig

@@ -3,8 +3,12 @@
 import pytest
 
 from repro.core import CompactionPipeline
-from repro.core.reports import (parse_fault_sim_report, parse_labeled_ptp,
-                                write_fault_sim_report, write_labeled_ptp)
+from repro.core.reports import (
+    parse_fault_sim_report,
+    parse_labeled_ptp,
+    write_fault_sim_report,
+    write_labeled_ptp,
+)
 from repro.errors import ReportError
 from repro.stl import generate_imm
 

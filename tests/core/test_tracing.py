@@ -4,8 +4,7 @@ import pytest
 
 from repro.core.tracing import collector_for, run_logic_tracing
 from repro.errors import CompactionError
-from repro.gpu.stimuli import (DecoderUnitCollector, SfuCollector,
-                               SpCoreCollector)
+from repro.gpu.stimuli import DecoderUnitCollector, SfuCollector, SpCoreCollector
 from repro.stl import generate_imm, generate_rand
 
 

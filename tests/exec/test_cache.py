@@ -5,8 +5,13 @@ import os
 
 import pytest
 
-from repro.exec import (ArtifactCache, RunMetrics, cached_logic_tracing,
-                        default_cache_dir, module_fingerprint)
+from repro.exec import (
+    ArtifactCache,
+    RunMetrics,
+    cached_logic_tracing,
+    default_cache_dir,
+    module_fingerprint,
+)
 from repro.gpu import Gpu
 from repro.gpu.config import GpuConfig
 from repro.stl import generate_imm

@@ -14,7 +14,7 @@ import pytest
 from repro.core.tracing import run_logic_tracing
 from repro.errors import SchedulerError
 from repro.exec import RunMetrics, ShardedFaultScheduler, WorkerPool
-from repro.faults import FaultList, FaultSimulator, OUTPUT_PIN, StuckAtFault
+from repro.faults import OUTPUT_PIN, FaultList, FaultSimulator, StuckAtFault
 from repro.faults.dropping import FaultListReport
 from repro.stl import generate_imm
 

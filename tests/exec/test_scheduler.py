@@ -5,8 +5,7 @@ import pytest
 from repro.core.pipeline import CompactionPipeline
 from repro.core.tracing import run_logic_tracing
 from repro.errors import SchedulerError
-from repro.exec import (RunMetrics, ShardedFaultScheduler, resolve_jobs,
-                        run_sharded, shard_bounds)
+from repro.exec import RunMetrics, ShardedFaultScheduler, resolve_jobs, run_sharded, shard_bounds
 from repro.faults import FaultList, FaultSimulator
 from repro.stl import generate_imm, generate_mem
 

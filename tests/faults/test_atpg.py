@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.faults import (FaultList, FaultSimulator, OUTPUT_PIN, PodemEngine,
-                          StuckAtFault, run_atpg)
+from repro.faults import OUTPUT_PIN, FaultList, FaultSimulator, PodemEngine, StuckAtFault, run_atpg
 from repro.netlist import GateType, Netlist, PatternSet
 from repro.netlist.modules import HardwareModule
 

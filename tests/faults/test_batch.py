@@ -14,10 +14,8 @@ import pytest
 
 from repro.errors import FaultSimError
 from repro.exec import RunMetrics, ShardedFaultScheduler
-from repro.faults import (FaultList, FaultSimulator, OUTPUT_PIN,
-                          StuckAtFault)
-from repro.faults.batch import (BatchFaultEngine, DEFAULT_ROWS,
-                                pattern_state)
+from repro.faults import OUTPUT_PIN, FaultList, FaultSimulator, StuckAtFault
+from repro.faults.batch import DEFAULT_ROWS, BatchFaultEngine, pattern_state
 from repro.faults.fault import enumerate_faults
 from repro.netlist import GateType, LogicSimulator, Netlist, PatternSet
 from repro.netlist.gates import ARITY

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import FaultSimError
-from repro.faults import FaultList, OUTPUT_PIN, StuckAtFault, enumerate_faults
+from repro.faults import OUTPUT_PIN, FaultList, StuckAtFault, enumerate_faults
 from repro.netlist import CONST0, GateType, Netlist
 
 

@@ -4,7 +4,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.faults import FaultList, FaultSimulator, OUTPUT_PIN, StuckAtFault
+from repro.faults import OUTPUT_PIN, FaultList, FaultSimulator, StuckAtFault
 from repro.faults.fault import enumerate_faults
 from repro.netlist import GateType, LogicSimulator, Netlist, PatternSet
 from repro.netlist.gates import evaluate

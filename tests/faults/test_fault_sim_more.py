@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import FaultSimError
-from repro.faults import FaultList, FaultSimulator, OUTPUT_PIN, StuckAtFault
+from repro.faults import OUTPUT_PIN, FaultList, FaultSimulator, StuckAtFault
 from repro.netlist import GateType, Netlist, PatternSet
 
 

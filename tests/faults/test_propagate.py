@@ -13,11 +13,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import FaultSimError
-from repro.faults import (FaultList, FaultSimulator, OUTPUT_PIN,
-                          StuckAtFault)
+from repro.faults import OUTPUT_PIN, FaultList, FaultSimulator, StuckAtFault
 from repro.faults.fault import enumerate_faults
-from repro.faults.propagate import (EventDrivenEngine, PropagationSchedule,
-                                    evaluate_opcode, _OPCODE)
+from repro.faults.propagate import _OPCODE, EventDrivenEngine, PropagationSchedule, evaluate_opcode
 from repro.netlist import GateType, LogicSimulator, Netlist, PatternSet
 from repro.netlist.gates import ARITY, evaluate
 

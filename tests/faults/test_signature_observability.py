@@ -7,7 +7,6 @@ it through the software MISR model.
 
 import random
 
-
 from repro.faults import FaultList, FaultSimulator
 from repro.netlist import GateType, LogicSimulator, Netlist, PatternSet
 from repro.stl.signature import misr_fold

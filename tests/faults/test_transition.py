@@ -1,8 +1,14 @@
 """Transition-delay fault model (the paper's future-work extension)."""
 
-from repro.faults import (FALL, RISE, TransitionFault,
-                          TransitionFaultSimulator,
-                          enumerate_transition_faults)
+import pytest
+
+from repro.faults import (
+    FALL,
+    RISE,
+    TransitionFault,
+    TransitionFaultSimulator,
+    enumerate_transition_faults,
+)
 from repro.netlist import GateType, Netlist, PatternSet
 
 
@@ -91,7 +97,6 @@ def test_transition_coverage_below_stuck_at():
     import random
 
     from repro.faults import FaultList, FaultSimulator
-
     from repro.netlist.modules import build_sp_core
 
     sp = build_sp_core(8)
@@ -109,11 +114,109 @@ def test_transition_coverage_below_stuck_at():
     assert transition.coverage() <= stuck.coverage() + 1e-9
 
 
+def test_equivalent_stuck_at_maps_edges_to_capture_values():
+    """Slow-to-rise captures as stuck-at-0, slow-to-fall as stuck-at-1
+    (the launch drives the net toward the value the slow net misses)."""
+    assert TransitionFault(3, RISE).equivalent_stuck_at() == 0
+    assert TransitionFault(3, FALL).equivalent_stuck_at() == 1
+    nl, a, out = _buf()
+    for fault in enumerate_transition_faults(nl):
+        expected = 0 if fault.edge == RISE else 1
+        assert fault.equivalent_stuck_at() == expected
+
+
+def test_stem_proxy_builds_the_equivalent_stuck_at_site():
+    from repro.errors import FaultSimError
+    from repro.faults import OUTPUT_PIN
+    from repro.faults.transition import _stem_proxy
+
+    nl, a, out = _buf()
+    proxy = _stem_proxy(nl, out, TransitionFault(out, RISE)
+                        .equivalent_stuck_at())
+    assert proxy.net == out
+    assert proxy.gate == nl.driver_of(out)
+    assert proxy.pin == OUTPUT_PIN
+    assert proxy.stuck_at == 0
+    pi_proxy = _stem_proxy(nl, a, 1)
+    assert pi_proxy.gate is None and pi_proxy.stuck_at == 1
+    with pytest.raises(FaultSimError):
+        _stem_proxy(nl, 10 ** 6, 0)
+
+
+def test_transition_detection_is_equivalent_stuck_at_gated_by_launch():
+    """The load-bearing identity of the model: the transition detection
+    word is exactly the equivalent stuck-at stem fault's detection word
+    masked by the launch cycles."""
+    import random
+
+    from repro.faults import FaultSimulator
+    from repro.faults.fault import FaultList
+    from repro.faults.transition import _stem_proxy
+
+    nl = Netlist("gated")
+    a, b, c = (nl.add_input() for __ in range(3))
+    g1 = nl.add_gate(GateType.AND, a, b)
+    g2 = nl.add_gate(GateType.XOR, g1, c)
+    nl.mark_output(g2)
+    nl.finalize()
+    rng = random.Random(11)
+    patterns = PatternSet(nl)
+    for __ in range(12):
+        patterns.add({net: rng.getrandbits(1) for net in nl.inputs})
+
+    transition_faults = enumerate_transition_faults(nl)
+    result = TransitionFaultSimulator(nl).run(patterns, transition_faults)
+    proxies = FaultList(nl, [
+        _stem_proxy(nl, f.net, f.equivalent_stuck_at())
+        for f in transition_faults])
+    stuck = FaultSimulator(nl).run(patterns, proxies)
+    good = FaultSimulator(nl)._logic.run(patterns)
+    mask = patterns.mask
+    for i, fault in enumerate(transition_faults):
+        value = good[fault.net]
+        if fault.edge == RISE:
+            launch = (~(value << 1)) & value & mask
+        else:
+            launch = (value << 1) & (~value) & mask
+        launch &= ~1
+        assert result.detection_words[i] == \
+            stuck.detection_words[i] & launch
+
+
+def test_campaign_level_transition_mapping_on_generator_ptp(du_module, gpu):
+    """Campaign-level mapping check over a real generator PTP's traced
+    patterns: every transition detection cycle is also a detection cycle
+    of the equivalent stuck-at stem fault (launch gating only removes
+    cycles, never adds them)."""
+    from repro.core import run_logic_tracing
+    from repro.faults import FaultList, FaultSimulator
+    from repro.faults.transition import _stem_proxy
+    from repro.stl import generate_imm
+
+    ptp = generate_imm(seed=7, num_sbs=10)
+    tracing = run_logic_tracing(ptp, du_module, gpu=gpu)
+    patterns = tracing.pattern_report.to_pattern_set()
+
+    transition_faults = enumerate_transition_faults(du_module.netlist)
+    result = TransitionFaultSimulator(du_module.netlist).run(
+        patterns, transition_faults)
+    proxies = FaultList(du_module.netlist, [
+        _stem_proxy(du_module.netlist, f.net, f.equivalent_stuck_at())
+        for f in transition_faults])
+    stuck = FaultSimulator(du_module.netlist).run(patterns, proxies)
+
+    detected = 0
+    for i in range(len(transition_faults)):
+        word = result.detection_words[i]
+        assert word & ~stuck.detection_words[i] == 0
+        detected += 1 if word else 0
+    assert 0 < detected < len(transition_faults)
+
+
 def test_pipeline_stages_compose_with_transition_model(du_module, gpu):
     """Stages 1-4 run unchanged against the transition-fault report
     (Section V: 'the same compaction approach can be adapted')."""
-    from repro.core import (label_instructions, partition_ptp, reduce_ptp,
-                            run_logic_tracing)
+    from repro.core import label_instructions, partition_ptp, reduce_ptp, run_logic_tracing
     from repro.stl import generate_imm
 
     ptp = generate_imm(seed=21, num_sbs=12)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import KernelLaunchError, SimulationError
-from repro.gpu.config import GpuConfig, KernelConfig, WARP_SIZE
+from repro.gpu.config import WARP_SIZE, GpuConfig, KernelConfig
 from repro.gpu.memory import MemorySystem, WordMemory
 from repro.gpu.regfile import RegisterFile
 

@@ -9,8 +9,7 @@ pattern reports faithful to the hardware.
 
 import pytest
 
-from repro.gpu import (DecoderUnitCollector, Gpu, KernelConfig, SfuCollector,
-                       SpCoreCollector)
+from repro.gpu import DecoderUnitCollector, Gpu, KernelConfig, SfuCollector, SpCoreCollector
 from repro.gpu.trace import parse_trace_report, write_trace_report
 from repro.isa import assemble, decode
 from repro.netlist.modules.sp_core import SPOp
@@ -99,8 +98,8 @@ def test_sp_stimuli_ccs_inside_trace_exec_spans(kernel_run):
 def test_sp_netlist_reproduces_architectural_results(kernel_run, sp_module):
     """Feed every captured SP pattern into the gate-level SP core; its
     result must equal the architectural result mod 2^W."""
-    from repro.netlist.modules.sp_core import sp_reference_result
     from repro.isa.opcodes import CmpOp
+    from repro.netlist.modules.sp_core import sp_reference_result
 
     for record in kernel_run.stimuli["sp_core"]:
         v = record.value_dict

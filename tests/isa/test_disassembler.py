@@ -2,8 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.isa import (Instruction, Pred, assemble, disassemble,
-                       format_instruction)
+from repro.isa import Instruction, Pred, assemble, disassemble, format_instruction
 from repro.isa.opcodes import CmpOp, Op, SpecialReg
 
 

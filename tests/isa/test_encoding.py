@@ -4,8 +4,16 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import EncodingError
-from repro.isa import (Instruction, Pred, bits_to_word, decode, encode,
-                       encode_program, decode_program, word_to_bits)
+from repro.isa import (
+    Instruction,
+    Pred,
+    bits_to_word,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+    word_to_bits,
+)
 from repro.isa.opcodes import CmpOp, Fmt, Op, SpecialReg, info
 
 ALL_OPS = list(Op)

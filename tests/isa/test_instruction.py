@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import IsaError
-from repro.isa import Instruction, NUM_PREDS, NUM_REGS, Pred
+from repro.isa import NUM_PREDS, NUM_REGS, Instruction, Pred
 from repro.isa.opcodes import CmpOp, Op, SpecialReg
 
 

@@ -2,8 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.netlist import LogicSimulator, Netlist, PatternSet
-from repro.netlist import builder as bd
+from repro.netlist import LogicSimulator, Netlist, PatternSet, builder as bd
 
 W = 8
 word8 = st.integers(0, (1 << W) - 1)

@@ -6,8 +6,7 @@ from repro.isa import Instruction, Pred, assemble, encode
 from repro.isa.opcodes import CmpOp, Op
 from repro.netlist.modules import SPOp
 from repro.netlist.modules.decoder_unit import UNIT_ORDER, reference_decode
-from repro.netlist.modules.sfu import (FUNC_CODES, SEG_BITS,
-                                       sfu_reference_result)
+from repro.netlist.modules.sfu import FUNC_CODES, SEG_BITS, sfu_reference_result
 from repro.netlist.modules.sp_core import ISA_TO_SPOP, sp_reference_result
 
 W = 8  # conftest TEST_WIDTH

@@ -4,8 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import NetlistError
-from repro.netlist import (CONST0, CONST1, GateType, LogicSimulator, Netlist,
-                           PatternSet)
+from repro.netlist import CONST0, CONST1, GateType, LogicSimulator, Netlist, PatternSet
 from repro.netlist.gates import ARITY, evaluate
 from repro.netlist.simulator import iter_set_bits
 

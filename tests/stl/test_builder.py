@@ -6,8 +6,7 @@ from repro.errors import CompactionError
 from repro.gpu.config import KernelConfig
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
-from repro.stl.builder import (DATA_BASE, OUTPUT_BASE, PtpBuilder,
-                               SIGNATURE_BASE)
+from repro.stl.builder import DATA_BASE, OUTPUT_BASE, SIGNATURE_BASE, PtpBuilder
 
 
 def _builder(**kw):

@@ -6,9 +6,15 @@ from repro.core.partition import partition_ptp
 from repro.core.reduction import segment_small_blocks
 from repro.core.tracing import run_logic_tracing
 from repro.isa.opcodes import Op, Unit, info
-from repro.stl import (SelfTestLibrary, generate_cntrl, generate_imm,
-                       generate_mem, generate_rand, generate_sfu_imm,
-                       generate_tpgen)
+from repro.stl import (
+    SelfTestLibrary,
+    generate_cntrl,
+    generate_imm,
+    generate_mem,
+    generate_rand,
+    generate_sfu_imm,
+    generate_tpgen,
+)
 
 
 @pytest.fixture(scope="module")

@@ -6,10 +6,8 @@ import os
 import pytest
 
 from repro.errors import ReportError
-from repro.stl import (SelfTestLibrary, generate_cntrl, generate_imm,
-                       generate_mem)
-from repro.stl.io import (load_ptp, load_stl, ptp_from_dict, ptp_to_dict,
-                          save_ptp, save_stl)
+from repro.stl import SelfTestLibrary, generate_cntrl, generate_imm, generate_mem
+from repro.stl.io import load_ptp, load_stl, ptp_from_dict, ptp_to_dict, save_ptp, save_stl
 
 
 @pytest.mark.parametrize("generator,kwargs", [

@@ -5,8 +5,14 @@ from hypothesis import given, settings, strategies as st
 from repro.gpu import Gpu, KernelConfig
 from repro.isa import Instruction, Program
 from repro.isa.opcodes import Op, SpecialReg
-from repro.stl.signature import (SIG_REG, difference_fold, emit_misr_update,
-                                 misr_fold, misr_update, rotl)
+from repro.stl.signature import (
+    SIG_REG,
+    difference_fold,
+    emit_misr_update,
+    misr_fold,
+    misr_update,
+    rotl,
+)
 
 word32 = st.integers(0, 0xFFFFFFFF)
 

@@ -35,6 +35,55 @@ def test_generate_unknown_ptp(tmp_path):
         main(["generate", "--ptp", "SFU_IMM", "--out", str(tmp_path)])
 
 
+def test_analyze_text_report(capsys):
+    assert main(["analyze", "--module", "decoder_unit"]) == 0
+    out = capsys.readouterr().out
+    assert "TESTABILITY decoder_unit" in out
+    assert "dominance" in out
+    assert "untestable" in out
+    assert "scoap CC0" in out
+
+
+def test_analyze_json_covers_all_modules(capsys):
+    import json
+
+    assert main(["analyze", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert [doc["module"] for doc in data] == \
+        ["decoder_unit", "sfu", "sp_core"]
+    for doc in data:
+        assert doc["faults"]["untestable"] > 0
+        assert doc["faults"]["testable"] + doc["faults"]["untestable"] == \
+            doc["faults"]["total"]
+        assert len(doc["proofs"]) == doc["faults"]["untestable"]
+        assert doc["scoap"]["co"]["max"] is not None
+
+
+def test_compact_static_prune_strict_smoke(tmp_path, capsys):
+    """The CI soundness smoke: strict mode cross-checks every pruned
+    fault against the batch engine and the metrics record the triage."""
+    import json
+
+    src_dir = str(tmp_path / "src")
+    out_dir = str(tmp_path / "out")
+    metrics_path = str(tmp_path / "metrics.json")
+    main(["generate", "--ptp", "IMM", "--seed", "5", "--sbs", "4",
+          "--out", src_dir])
+    capsys.readouterr()
+    assert main(["compact", "--ptp-dir", src_dir, "--out", out_dir,
+                 "--static-prune", "strict", "--rank", "scoap",
+                 "--no-evaluate", "--no-pool", "--no-cache",
+                 "--metrics-out", metrics_path]) == 0
+    capsys.readouterr()
+    with open(metrics_path) as handle:
+        metrics = json.load(handle)
+    assert metrics["static"]["prune_mode"] == "strict"
+    assert metrics["static"]["rank_mode"] == "scoap"
+    assert metrics["static"]["faults_pruned_static"] > 0
+    assert metrics["static"]["cross_checked"] == \
+        metrics["static"]["faults_pruned_static"]
+
+
 def test_compact_round_trip(tmp_path, capsys):
     src_dir = str(tmp_path / "src")
     out_dir = str(tmp_path / "out")
@@ -282,6 +331,22 @@ def test_lint_stl_dir_json_output(tmp_path, capsys):
     for ptp in data["ptps"]:
         for diag in ptp["diagnostics"]:
             assert diag["severity"] == "warning"
+
+
+def test_lint_json_rule_counts_summary(tmp_path, capsys):
+    import json
+
+    stl_dir = _write_stl(tmp_path, capsys)
+    assert main(["lint", "--stl-dir", stl_dir, "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    # The per-rule-id block aggregates the diagnostic arrays exactly.
+    expected = {}
+    for ptp in data["ptps"]:
+        for diag in ptp["diagnostics"]:
+            expected[diag["rule"]] = expected.get(diag["rule"], 0) + 1
+    assert data["rule_counts"] == expected
+    assert sum(data["rule_counts"].values()) == \
+        data["errors"] + data["warnings"]
 
 
 def test_lint_broken_ptp_exits_1(tmp_path, capsys):

@@ -7,7 +7,7 @@ paper's story depends on.
 
 import pytest
 
-from repro.analysis import Experiment, SMOKE, stl_aggregate
+from repro.analysis import SMOKE, Experiment, stl_aggregate
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,94 @@
+"""Dominance collapsing: chain rules, class-map invariants."""
+
+from repro.faults import OUTPUT_PIN, FaultList, StuckAtFault
+from repro.netlist import GateType, Netlist
+from repro.testability import collapse_dominance
+
+
+def _stem(nl, net, value):
+    return StuckAtFault(net, nl.driver_of(net), OUTPUT_PIN, value)
+
+
+def _chain(gate_type):
+    nl = Netlist("chain")
+    a, b = nl.add_input(), nl.add_input()
+    g = nl.add_gate(gate_type, a, b)
+    out = nl.add_gate(GateType.BUF, g)
+    nl.mark_output(out)
+    nl.finalize()
+    return nl, a, b, g, out
+
+
+def test_and_chain_collapses_both_output_stem_faults():
+    nl, a, b, g, out = _chain(GateType.AND)
+    fault_list = FaultList(nl)
+    result = collapse_dominance(nl, fault_list)
+    rep = result.representative
+    # g s-a-0 == a s-a-0 (equivalence through the controlling value),
+    # g s-a-1 dominates a s-a-1; both collapse to the input stem of the
+    # first fanout-free pin (a, gate order then pin order).
+    assert rep[_stem(nl, g, 0)] == \
+        _stem(nl, a, 0)
+    assert rep[_stem(nl, g, 1)] == \
+        _stem(nl, a, 1)
+    # The BUF output chains transitively down to the same representatives.
+    assert rep[_stem(nl, out, 0)] == \
+        _stem(nl, a, 0)
+
+
+def test_nor_chain_inverts_the_linked_polarity():
+    nl, a, b, g, out = _chain(GateType.NOR)
+    result = collapse_dominance(nl, FaultList(nl))
+    rep = result.representative
+    # NOR: controlling 1 -> response 0, so g s-a-0 pairs with a s-a-1.
+    assert rep[_stem(nl, g, 0)] == \
+        _stem(nl, a, 1)
+    assert rep[_stem(nl, g, 1)] == \
+        _stem(nl, a, 0)
+
+
+def test_xor_gates_break_the_chain():
+    nl, a, b, g, out = _chain(GateType.XOR)
+    result = collapse_dominance(nl, FaultList(nl))
+    rep = result.representative
+    assert rep[_stem(nl, g, 0)] == \
+        _stem(nl, g, 0)
+
+
+def test_fanout_and_observation_break_the_chain():
+    nl = Netlist("fanout")
+    a, b = nl.add_input(), nl.add_input()
+    g1 = nl.add_gate(GateType.AND, a, b)    # a also feeds g2: fanout 2
+    g2 = nl.add_gate(GateType.BUF, a)
+    nl.mark_output(g1)
+    nl.mark_output(g2)
+    nl.mark_output(b)                        # b is observed directly
+    nl.finalize()
+    result = collapse_dominance(nl, FaultList(nl))
+    for fault, rep in result.representative.items():
+        assert rep == fault                  # nothing collapses
+
+
+def test_class_map_covers_every_fault_and_reps_are_fixed_points():
+    nl, a, b, g, out = _chain(GateType.NAND)
+    fault_list = FaultList(nl)
+    result = collapse_dominance(nl, fault_list)
+    assert set(result.representative) == set(fault_list)
+    assert sum(len(m) for m in result.classes.values()) == len(fault_list)
+    for rep, members in result.classes.items():
+        assert result.representative[rep] is rep
+        for member in members:
+            assert result.representative[member] is rep
+            assert result.members_of(member) is members
+    assert result.num_collapsed_away == len(fault_list) - result.num_classes
+    assert len(result.collapsed) == result.num_classes
+
+
+def test_classes_are_closed_over_the_given_fault_list():
+    nl, a, b, g, out = _chain(GateType.AND)
+    # Restrict the list: without the input stems, output stems keep
+    # themselves (links to absent faults are ignored).
+    subset = [_stem(nl, g, 0),
+              _stem(nl, g, 1)]
+    result = collapse_dominance(nl, FaultList(nl, subset))
+    assert all(rep in subset for rep in result.representative.values())

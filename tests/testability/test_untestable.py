@@ -1,0 +1,153 @@
+"""Untestability proofs: constant propagation, UT001/UT002/UT003."""
+
+from repro.faults import OUTPUT_PIN, FaultList, StuckAtFault
+from repro.netlist import GateType, Netlist
+from repro.netlist.netlist import CONST0, CONST1
+from repro.testability import PROOF_KINDS, UntestabilityProver, propagate_constants
+
+
+def test_constant_propagation_from_tied_nets():
+    nl = Netlist("const")
+    a = nl.add_input()
+    g1 = nl.add_gate(GateType.AND, a, CONST0)      # 0
+    g2 = nl.add_gate(GateType.NOT, g1)             # 1
+    g3 = nl.add_gate(GateType.OR, a, g2)           # 1
+    g4 = nl.add_gate(GateType.XOR, a, a)           # 0 (same-net identity)
+    g5 = nl.add_gate(GateType.XNOR, a, a)          # 1
+    g6 = nl.add_gate(GateType.MUX, a, a, g1)       # = a via sel const... a
+    nl.mark_output(g3)
+    nl.mark_output(g6)
+    nl.finalize()
+    const = propagate_constants(nl)
+    assert const[CONST0] == 0 and const[CONST1] == 1
+    assert const[g1] == 0 and const[g2] == 1 and const[g3] == 1
+    assert const[g4] == 0 and const[g5] == 1
+    # MUX(a, a, sel) is a but not constant; absent from the map.
+    assert g6 not in const
+    assert a not in const
+
+
+def test_mux_select_constant_propagates_the_selected_input():
+    nl = Netlist("muxsel")
+    a, b = nl.add_input(), nl.add_input()
+    zero = nl.add_gate(GateType.AND, a, CONST0)
+    g = nl.add_gate(GateType.MUX, zero, b, CONST0)   # sel=0 -> a-branch
+    nl.mark_output(g)
+    nl.finalize()
+    const = propagate_constants(nl)
+    assert const[g] == 0
+
+
+def test_ut001_constant_site_never_activates():
+    nl = Netlist("ut1")
+    a = nl.add_input()
+    g = nl.add_gate(GateType.AND, a, CONST0)
+    nl.mark_output(g)
+    nl.finalize()
+    prover = UntestabilityProver(nl)
+    proof = prover.prove(StuckAtFault(g, 0, OUTPUT_PIN, 0))
+    assert proof is not None and proof.kind == "UT001"
+    # The opposite polarity IS testable (activated everywhere).
+    assert prover.prove(StuckAtFault(g, 0, OUTPUT_PIN, 1)) is None
+
+
+def test_ut002_dangling_cone():
+    nl = Netlist("ut2")
+    a = nl.add_input()
+    seen = nl.add_gate(GateType.BUF, a)
+    hidden = nl.add_gate(GateType.NOT, a)
+    nl.mark_output(seen)
+    nl.finalize()
+    prover = UntestabilityProver(nl)
+    for value in (0, 1):
+        proof = prover.prove(StuckAtFault(hidden, 1, OUTPUT_PIN, value))
+        assert proof is not None and proof.kind == "UT002"
+    assert prover.prove(StuckAtFault(seen, 0, OUTPUT_PIN, 0)) is None
+
+
+def test_ut003_blocked_propagation_path():
+    # diff on the AND's free input dies at the constant-0 side input.
+    nl = Netlist("ut3")
+    a = nl.add_input()
+    zero = nl.add_gate(GateType.AND, a, CONST0)     # constant 0
+    mid = nl.add_gate(GateType.NOT, a)
+    g = nl.add_gate(GateType.AND, mid, zero)        # blocked gate
+    out = nl.add_gate(GateType.BUF, g)
+    nl.mark_output(out)
+    nl.finalize()
+    prover = UntestabilityProver(nl)
+    proof = prover.prove(StuckAtFault(mid, 1, OUTPUT_PIN, 0))
+    assert proof is not None and proof.kind == "UT003"
+
+
+def test_ut003_reconvergence_caveat_blocks_only_outside_the_cone():
+    # The blocking "constant" is INSIDE the fault's cone: a stem fault on
+    # `a` can flip it in the faulty machine, so nothing may be pruned.
+    nl = Netlist("reconv")
+    a = nl.add_input()
+    zero = nl.add_gate(GateType.AND, a, CONST0)     # const 0, cone of a
+    g = nl.add_gate(GateType.OR, a, zero)           # = a
+    nl.mark_output(g)
+    nl.finalize()
+    prover = UntestabilityProver(nl)
+    # a s-a-1: activation needs a=0; in the faulty machine `zero` could
+    # (in principle, per the analysis) differ, so no UT003 proof fires.
+    assert prover.prove(StuckAtFault(a, None, OUTPUT_PIN, 1)) is None
+    assert prover.prove(StuckAtFault(a, None, OUTPUT_PIN, 0)) is None
+
+
+def test_pin_fault_blocked_by_constant_controlling_side_input():
+    nl = Netlist("pinblock")
+    a, b = nl.add_input(), nl.add_input()
+    zero = nl.add_gate(GateType.AND, a, CONST0)
+    g = nl.add_gate(GateType.AND, b, zero)
+    other = nl.add_gate(GateType.BUF, b)            # b has fanout 2
+    nl.mark_output(g)
+    nl.mark_output(other)
+    nl.finalize()
+    prover = UntestabilityProver(nl)
+    # Pin fault on g's b-input: the zero side input always blocks.
+    proof = prover.prove(StuckAtFault(b, 1, 0, 1))
+    assert proof is not None and proof.kind == "UT003"
+    # The stem fault on b itself reaches the BUF output: testable.
+    assert prover.prove(StuckAtFault(b, None, OUTPUT_PIN, 1)) is None
+
+
+def test_mux_pin_faults_with_constant_select():
+    nl = Netlist("muxpin")
+    a, b = nl.add_input(), nl.add_input()
+    one = nl.add_gate(GateType.OR, a, CONST1)       # constant 1
+    g = nl.add_gate(GateType.MUX, a, b, one)        # always the b branch
+    seen_a = nl.add_gate(GateType.BUF, a)
+    seen_b = nl.add_gate(GateType.BUF, b)
+    nl.mark_output(g)
+    nl.mark_output(seen_a)
+    nl.mark_output(seen_b)
+    nl.finalize()
+    prover = UntestabilityProver(nl)
+    mux = nl.driver_of(g)
+    proof = prover.prove(StuckAtFault(a, mux, 0, 1))  # a-pin of the MUX
+    assert proof is not None and proof.kind == "UT003"
+    assert prover.prove(StuckAtFault(b, mux, 1, 1)) is None
+
+
+def test_untestable_collects_ordered_proofs_and_records_render():
+    nl = Netlist("collect")
+    a = nl.add_input("a")
+    g = nl.add_gate(GateType.AND, a, CONST0)
+    nl.mark_output(g)
+    nl.finalize()
+    prover = UntestabilityProver(nl)
+    fault_list = FaultList(nl)
+    proofs = prover.untestable(fault_list)
+    assert proofs
+    order = [fault_list.id_of(f) for f in proofs]
+    assert order == sorted(order)
+    for fault, proof in proofs.items():
+        assert proof.fault is fault
+        assert proof.kind in PROOF_KINDS
+        text = proof.render(nl)
+        assert text.startswith("[{}]".format(proof.kind))
+        doc = proof.to_dict()
+        assert doc["title"] == PROOF_KINDS[proof.kind]
+        assert doc["fault"]["net"] == fault.net

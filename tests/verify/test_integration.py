@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import (CampaignCheckpoint, CompactionPipeline,
-                        run_stl_campaign)
+from repro.core import CampaignCheckpoint, CompactionPipeline, run_stl_campaign
 from repro.core.campaign import COMPACTED, FAILED
 from repro.core.pipeline import STAGES, VERIFY_MODES
 from repro.core.reduction import ReductionResult

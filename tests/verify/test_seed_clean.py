@@ -7,8 +7,7 @@ import pytest
 
 from repro.isa.instruction import Program
 from repro.isa.opcodes import Op
-from repro.stl import (generate_cntrl, generate_imm, generate_mem,
-                       generate_rand)
+from repro.stl import generate_cntrl, generate_imm, generate_mem, generate_rand
 from repro.stl.generators.atpg_based import generate_sfu_imm, generate_tpgen
 from repro.stl.signature import SIG_REG
 from repro.verify import verify_ptp
