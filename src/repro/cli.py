@@ -181,7 +181,8 @@ def cmd_compact(args):
                             chunk_size=args.chunk_size,
                             pool=not args.no_pool,
                             static_prune=args.static_prune,
-                            rank=args.rank) as pipeline:
+                            rank=args.rank,
+                            incremental=args.incremental) as pipeline:
         outcome = pipeline.compact(ptp, reverse_patterns=args.reverse,
                                    evaluate=not args.no_evaluate)
     save_ptp(outcome.compacted, args.out)
@@ -236,6 +237,7 @@ def cmd_campaign(args):
         pool=not args.no_pool,
         static_prune=args.static_prune,
         rank=args.rank,
+        incremental=args.incremental,
     )
     for report in reports:
         print(write_campaign_summary(report))
@@ -330,6 +332,17 @@ def _add_exec_arguments(parser):
                             "none; scoap simulates easiest-to-detect "
                             "faults first so dropping fires earlier — "
                             "detected sets are unchanged)")
+    group.add_argument("--incremental", choices=("off", "on", "strict"),
+                       default="off",
+                       help="cross-run fault-state restore (default: off; "
+                            "on restores detection state from the cache "
+                            "for faults whose cone-support pattern values "
+                            "are unchanged since the last run and "
+                            "re-simulates only the invalidated remainder; "
+                            "strict re-simulates everything anyway and "
+                            "aborts unless the restored state is "
+                            "bit-identical; requires the artifact cache, "
+                            "so it rejects --no-cache)")
 
 
 def build_parser():

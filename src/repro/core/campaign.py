@@ -351,7 +351,8 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
                      reverse_for=("SFU_IMM",), evaluate=True, jobs=None,
                      cache=None, metrics=None, engine="event",
                      verify="warn", scheduler=None, chunk_size=None,
-                     pool=True, static_prune="off", rank=None, **kwargs):
+                     pool=True, static_prune="off", rank=None,
+                     incremental="off", **kwargs):
     """Run one campaign per target module of *stl*, sharing a checkpoint.
 
     Modules are processed in order of first appearance in the STL, each
@@ -393,6 +394,14 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
             :class:`CompactionPipeline`).
         rank: stage-3 worklist ordering for every per-module pipeline
             (``None``/``"none"``/``"scoap"``).
+        incremental: cross-run fault-state restore mode for every
+            per-module pipeline (``"off"``/``"on"``/``"strict"``; see
+            :class:`CompactionPipeline` and
+            :mod:`repro.exec.incremental`).  A re-entered campaign —
+            same cache directory, edited STL — then restores detection
+            state for every fault whose cone-support pattern values are
+            unchanged and re-simulates only the invalidated remainder;
+            requires *cache*.
         **kwargs: forwarded to every :class:`CompactionCampaign`.
 
     Returns:
@@ -418,7 +427,8 @@ def run_stl_campaign(stl, modules, gpu=None, checkpoint=None, resume=False,
                                    cache=cache, metrics=metrics,
                                    engine=engine, verify=verify,
                                    scheduler=scheduler,
-                                   static_prune=static_prune, rank=rank),
+                                   static_prune=static_prune, rank=rank,
+                                   incremental=incremental),
                 checkpoint=checkpoint, **kwargs)
             reports.append(campaign.run(stl, reverse_for=reverse_for,
                                         evaluate=evaluate, resume=resume))

@@ -48,9 +48,13 @@ class CampaignCheckpoint:
     ``cache_keys`` (added by the exec subsystem) maps artifact names to
     the SHA-256 content keys the PTP's compaction touched in the
     :class:`~repro.exec.cache.ArtifactCache`; a resumed campaign reuses
-    those artifacts without recomputing their keys.  The field is
-    optional, so version-1 checkpoints written before it existed still
-    load.
+    those artifacts without recomputing their keys.  Under
+    ``--incremental`` the dict additionally carries
+    ``fault_state_record`` — the key of the per-(PTP, module, engine)
+    fault-state record the incremental layer read and rewrote for that
+    PTP (:meth:`~repro.exec.cache.ArtifactCache.fault_state_key`).  The
+    field is optional, so version-1 checkpoints written before it
+    existed still load.
     """
 
     def __init__(self, path):

@@ -48,7 +48,7 @@ class FcEvaluation:
 
 def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
                 reverse_patterns=False, cache=None, scheduler=None,
-                metrics=None, engine="event"):
+                metrics=None, engine="event", incremental=None):
     """Fault-simulate *ptp* end to end and report its FC.
 
     Args:
@@ -75,6 +75,14 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
         metrics: optional :class:`~repro.exec.metrics.RunMetrics`.
         engine: fault-propagation engine (``"event"``/``"cone"``/
             ``"batch"``); results are bit-identical either way.
+        incremental: optional
+            :class:`~repro.exec.incremental.IncrementalFaultSim` — the
+            module-observability simulation then restores unchanged-cone
+            detection state from the fault-state record keyed by
+            (*ptp* name, *module*, *engine*) and re-simulates only the
+            invalidated remainder.  Signature-observability evaluations
+            ignore it (the MISR fold consumes result-bus value *diffs*,
+            which the record does not carry).
 
     Returns:
         An :class:`FcEvaluation`.
@@ -100,6 +108,11 @@ def evaluate_fc(ptp, module, fault_list=None, gpu=None, observability=None,
             report.thread_sequences())
         detected = {fault for fault, hit in zip(fault_list,
                                                 signature_detected) if hit}
+    elif incremental is not None:
+        key = incremental.cache.fault_state_key(ptp.name, module, engine)
+        result, __info = incremental.run(scheduler, simulator, patterns,
+                                         fault_list, key)
+        detected = set(result.detected_faults)
     elif scheduler is not None:
         result = scheduler.run(simulator, patterns, fault_list)
         detected = set(result.detected_faults)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..errors import CompactionError, VerificationError
 from ..exec.cache import cached_logic_tracing
+from ..exec.incremental import IncrementalFaultSim, validate_incremental_mode
 from ..exec.scheduler import ShardedFaultScheduler
 from ..faults.dropping import FaultListReport
 from ..faults.fault import FaultList
@@ -160,12 +161,23 @@ class CompactionPipeline:
             simulates easiest-to-detect faults first so fault dropping
             fires earlier.  A pure permutation: every detected set is
             unchanged.
+        incremental: cross-run fault-state restore mode
+            (:data:`repro.exec.incremental.INCREMENTAL_MODES`).  ``"on"``
+            stores a per-(PTP, module, engine) fault-state record in the
+            artifact cache after every module-observability fault
+            simulation and, on the next run, restores detection state
+            verbatim for faults whose cone-support pattern values are
+            unchanged, re-simulating only the invalidated remainder;
+            ``"strict"`` additionally re-simulates everything and raises
+            :class:`~repro.errors.IncrementalError` unless the restored
+            result is bit-identical (the soundness oracle).  Requires a
+            *cache*; ``"off"`` (default) is the seed behavior.
     """
 
     def __init__(self, module, gpu=None, collapse=True, jobs=None,
                  cache=None, metrics=None, engine="event", verify="warn",
                  scheduler=None, chunk_size=None, pool=True,
-                 static_prune="off", rank=None):
+                 static_prune="off", rank=None, incremental="off"):
         if verify not in VERIFY_MODES:
             raise CompactionError(
                 "verify must be one of {}, got {!r}".format(
@@ -198,6 +210,12 @@ class CompactionPipeline:
         self.engine = engine
         self.cache = cache
         self.metrics = metrics
+        self.incremental = validate_incremental_mode(incremental or "off")
+        if self.incremental == "off":
+            self._incremental = None
+        else:
+            self._incremental = IncrementalFaultSim(
+                cache, metrics=metrics, mode=self.incremental)
         if scheduler is not None:
             self.scheduler = scheduler
             self._owns_scheduler = False
@@ -317,9 +335,17 @@ class CompactionPipeline:
         hook("fault_simulation", cycles=tracing.cycles)
         target_list = self._worklist(dropping)
         with self._timed("fault_simulation"):
-            fault_result = self.scheduler.run(self.simulator, patterns,
-                                              target_list,
-                                              skip_dropped=dropping)
+            if self._incremental is not None:
+                state_key = self.cache.fault_state_key(
+                    ptp.name, self.module, self.engine)
+                cache_keys["fault_state_record"] = state_key
+                fault_result, __info = self._incremental.run(
+                    self.scheduler, self.simulator, patterns, target_list,
+                    state_key, skip_dropped=dropping)
+            else:
+                fault_result = self.scheduler.run(self.simulator, patterns,
+                                                  target_list,
+                                                  skip_dropped=dropping)
         # Strict mode: re-simulate the statically pruned faults against
         # this PTP's patterns under the differential oracle.  Raises (and
         # aborts before the fault report is mutated) if any proof is
@@ -407,13 +433,13 @@ class CompactionPipeline:
                     ptp, self.module, fault_list=eval_list, gpu=self.gpu,
                     reverse_patterns=reverse_patterns, cache=self.cache,
                     scheduler=self.scheduler, metrics=self.metrics,
-                    engine=self.engine)
+                    engine=self.engine, incremental=self._incremental)
                 compacted_eval = evaluate_fc(
                     reduction.compacted, self.module, fault_list=eval_list,
                     gpu=self.gpu,
                     reverse_patterns=reverse_patterns, cache=self.cache,
                     scheduler=self.scheduler, metrics=self.metrics,
-                    engine=self.engine)
+                    engine=self.engine, incremental=self._incremental)
                 if original_eval.cache_key is not None:
                     cache_keys["evaluation_original"] = (
                         original_eval.cache_key)

@@ -130,6 +130,12 @@ class CacheError(ExecError):
     """The artifact cache directory cannot be created or written."""
 
 
+class IncrementalError(ExecError):
+    """The incremental fault-state layer was misconfigured, or its
+    strict-mode oracle found a restored result that differs from the
+    from-scratch re-simulation (a soundness violation)."""
+
+
 #: error_code used for failures that are not ReproError subclasses.
 UNKNOWN_ERROR_CODE = "UnknownError"
 

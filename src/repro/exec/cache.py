@@ -38,6 +38,11 @@ from ..gpu.trace import TraceRecord
 #: every key, so a version bump simply stops old entries from being hit.
 FORMAT_VERSION = 1
 
+#: Layout version of the incremental fault-state records stored by
+#: :class:`repro.exec.incremental.IncrementalFaultSim`; part of their key,
+#: so bumping it orphans (never corrupts) old records.
+FAULT_STATE_VERSION = 1
+
 #: Default LRU size cap (bytes of payload files per cache directory).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
@@ -87,7 +92,8 @@ class ArtifactCache:
     def __init__(self, directory=None, max_bytes=DEFAULT_MAX_BYTES):
         self.directory = directory or default_cache_dir()
         self.max_bytes = max_bytes
-        self.stats = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0}
+        self.stats = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0,
+                      "corrupt": 0}
 
     # -- keys ------------------------------------------------------------
 
@@ -109,6 +115,26 @@ class ArtifactCache:
             },
             "module": module_fingerprint(module),
             "stage": stage,
+        }
+        return _sha256_of(document)
+
+    def fault_state_key(self, ptp_name, module, engine):
+        """Key of the incremental fault-state record for one
+        (PTP, module, engine) combination.
+
+        Deliberately keyed by PTP *name*, not content: an edited PTP must
+        find the record its previous revision wrote so unchanged cones can
+        be restored — value-level fingerprints inside the record handle
+        invalidation.  The GPU configuration is excluded for the same
+        reason.
+        """
+        document = {
+            "format": FORMAT_VERSION,
+            "fault_state": FAULT_STATE_VERSION,
+            "ptp_name": ptp_name,
+            "module": module_fingerprint(module),
+            "engine": engine,
+            "stage": "fault_state",
         }
         return _sha256_of(document)
 
@@ -136,6 +162,7 @@ class ArtifactCache:
             except OSError:
                 pass
             self.stats["misses"] += 1
+            self.stats["corrupt"] += 1
             return None
         try:
             os.utime(path)
@@ -168,6 +195,15 @@ class ArtifactCache:
             raise
         self.stats["puts"] += 1
         self._enforce_cap()
+
+    def report_corrupt(self, key):
+        """Delete *key*'s entry after a content-level integrity failure
+        (e.g. a checksum mismatch the JSON parser cannot see)."""
+        try:
+            os.unlink(self._path_of(key))
+        except OSError:
+            pass
+        self.stats["corrupt"] += 1
 
     # -- eviction --------------------------------------------------------
 

@@ -31,7 +31,7 @@ import time
 from contextlib import contextmanager
 
 #: Bumped whenever the metrics JSON layout changes incompatibly.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 
 class RunMetrics:
@@ -52,6 +52,11 @@ class RunMetrics:
         self.static = {"prune_mode": "off", "rank_mode": "none",
                        "faults_pruned_static": 0, "dominance_classes": 0,
                        "cross_checked": 0}
+        self.incremental = {"runs": 0, "records_loaded": 0,
+                            "records_missing": 0, "groups_total": 0,
+                            "groups_restored": 0, "groups_invalidated": 0,
+                            "faults_restored": 0, "faults_resimulated": 0,
+                            "strict_checks": 0}
 
     # -- stage timing ----------------------------------------------------
 
@@ -72,7 +77,7 @@ class RunMetrics:
     def record_fault_sim(self, faults, patterns, seconds, jobs=1,
                          shard_busy_seconds=None, engine=None,
                          gates_evaluated=None, gates_skipped=None,
-                         chunks=None, batches=None):
+                         chunks=None, batches=None, restored=None):
         """Record one fault-simulation run.
 
         Args:
@@ -90,6 +95,9 @@ class RunMetrics:
                 the cone walk).
             chunks: streamed chunk count (pooled runs only).
             batches: compiled fault batches evaluated (batch engine only).
+            restored: faults whose detection state was restored from the
+                incremental fault-state cache instead of simulated
+                (incremental runs only).
         """
         run = {
             "faults": faults,
@@ -110,6 +118,8 @@ class RunMetrics:
             run["chunks"] = chunks
         if batches is not None:
             run["batches"] = batches
+        if restored is not None:
+            run["faults_restored"] = restored
         if shard_busy_seconds is not None:
             busy = sum(shard_busy_seconds)
             run["shards"] = len(shard_busy_seconds)
@@ -167,6 +177,22 @@ class RunMetrics:
         """Count faults re-simulated by the strict-mode differential
         cross-check."""
         self.static["cross_checked"] += faults
+
+    # -- incremental fault-state gauges -----------------------------------
+
+    def record_incremental(self, info):
+        """Accumulate one incremental fault-sim run's hit/invalidation
+        numbers (the *info* dict of
+        :meth:`repro.exec.incremental.IncrementalFaultSim.run`)."""
+        self.incremental["runs"] += 1
+        if info.get("record_hit"):
+            self.incremental["records_loaded"] += 1
+        else:
+            self.incremental["records_missing"] += 1
+        for field in ("groups_total", "groups_restored",
+                      "groups_invalidated", "faults_restored",
+                      "faults_resimulated", "strict_checks"):
+            self.incremental[field] += info.get(field, 0)
 
     # -- aggregates ------------------------------------------------------
 
@@ -233,6 +259,7 @@ class RunMetrics:
             "counters": dict(self.counters),
             "pool": dict(self.pool),
             "static": dict(self.static),
+            "incremental": dict(self.incremental),
         }
 
     def save(self, path):
@@ -301,12 +328,22 @@ class RunMetrics:
                              self.static.get("faults_pruned_static", 0),
                              self.static.get("dominance_classes", 0),
                              self.static.get("cross_checked", 0)))
+        lines.append("  incremental       : {} run(s), {} record(s) loaded, "
+                     "{}/{} group(s) restored, {} fault(s) restored, "
+                     "{} re-simulated".format(
+                         self.incremental.get("runs", 0),
+                         self.incremental.get("records_loaded", 0),
+                         self.incremental.get("groups_restored", 0),
+                         self.incremental.get("groups_total", 0),
+                         self.incremental.get("faults_restored", 0),
+                         self.incremental.get("faults_resimulated", 0)))
         lines.append("  cache             : {} hit(s), {} miss(es), "
-                     "{} put(s), {} eviction(s)".format(
+                     "{} put(s), {} eviction(s), {} corrupt".format(
                          self.cache.get("hits", 0),
                          self.cache.get("misses", 0),
                          self.cache.get("puts", 0),
-                         self.cache.get("evictions", 0)))
+                         self.cache.get("evictions", 0),
+                         self.cache.get("corrupt", 0)))
         lines.append("  worker pool       : {} spawned, {} death(s), "
                      "{} chunk(s), {} requeue(d), {} drop(s) broadcast, "
                      "{} drop-skip(s)".format(

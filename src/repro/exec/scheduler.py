@@ -180,7 +180,8 @@ class ShardedFaultScheduler:
 
     # -- runs ------------------------------------------------------------
 
-    def run(self, simulator, patterns, fault_list=None, skip_dropped=False):
+    def run(self, simulator, patterns, fault_list=None, skip_dropped=False,
+            restored=None):
         """Pooled equivalent of ``simulator.run(patterns, fault_list)``.
 
         Returns a :class:`FaultSimResult` bit-identical to the sequential
@@ -188,6 +189,9 @@ class ShardedFaultScheduler:
         :meth:`broadcast_drops` are not simulated and report
         ``word=0 / first=None`` (sequential fault-dropping semantics:
         their detection belongs to the PTP that first detected them).
+        *restored* is a pass-through metrics annotation: the number of
+        faults the incremental layer restored from cache alongside this
+        (already-compacted) worklist.
         """
         if fault_list is None:
             fault_list = FaultList(simulator.netlist)
@@ -195,7 +199,7 @@ class ShardedFaultScheduler:
         if (self.jobs == 1 or not self.pool_enabled or patterns.count == 0
                 or len(fault_list) < self.jobs * self.min_faults_per_shard):
             return self._run_inline(simulator, patterns, fault_list,
-                                    started)
+                                    started, restored=restored)
         try:
             pool = self._ensure_pool()
             words, firsts, busy, stats, skipped = pool.simulate(
@@ -210,25 +214,27 @@ class ShardedFaultScheduler:
             if self.metrics is not None:
                 self.metrics.bump("scheduler_inline_fallback")
             return self._run_inline(simulator, patterns, fault_list,
-                                    started)
+                                    started, restored=restored)
         if skipped and self.metrics is not None:
             self.metrics.record_pool_event("drops_skipped", skipped)
         result = FaultSimResult(fault_list, patterns.count, words, firsts)
         self._record(result, time.perf_counter() - started, jobs=self.jobs,
                      shard_busy=busy, engine=simulator.engine, stats=stats,
-                     chunks=len(busy))
+                     chunks=len(busy), restored=restored)
         return result
 
-    def _run_inline(self, simulator, patterns, fault_list, started):
+    def _run_inline(self, simulator, patterns, fault_list, started,
+                    restored=None):
         before = dict(simulator.stats)
         result = simulator.run(patterns, fault_list)
         self._record(result, time.perf_counter() - started, jobs=1,
                      engine=simulator.engine,
-                     stats=_stats_delta(simulator, before))
+                     stats=_stats_delta(simulator, before),
+                     restored=restored)
         return result
 
     def _record(self, result, seconds, jobs, shard_busy=None, engine=None,
-                stats=None, chunks=None):
+                stats=None, chunks=None, restored=None):
         if self.metrics is None:
             return
         stats = stats or {}
@@ -238,7 +244,7 @@ class ShardedFaultScheduler:
             engine=engine, chunks=chunks,
             gates_evaluated=stats.get("gates_evaluated"),
             gates_skipped=stats.get("gates_skipped"),
-            batches=stats.get("batches"))
+            batches=stats.get("batches"), restored=restored)
 
 
 def run_sharded(simulator, patterns, fault_list=None, jobs=None,

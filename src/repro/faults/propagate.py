@@ -108,6 +108,11 @@ class PropagationSchedule:
         self.fanout = [tuple(readers) for readers in fanout]
         self._reach = {}       # frozenset(targets) -> per-net bool list
         self._cone_size = {}   # net -> gates in its static fanout cone
+        self._support = {}     # seed net -> frozenset of supporting PIs
+        self._driver = None    # net -> driving gate index (lazy)
+        self._inputs = None    # frozenset of primary-input nets (lazy)
+        self._pi_mask = None   # net -> bitmask over PI slots (lazy DP)
+        self._pi_list = None   # PI slot -> net index
 
     def seed_net(self, fault):
         """The net whose change seeds *fault*'s propagation (the cone
@@ -137,6 +142,80 @@ class PropagationSchedule:
                         reach[net] = True
             self._reach[targets] = reach
         return reach
+
+    def _driver_map(self):
+        if self._driver is None:
+            self._driver = {out: index
+                            for index, out in enumerate(self.gate_output)}
+        return self._driver
+
+    def _pi_masks(self):
+        """Per-net bitmask over PI slots: bit *i* set when ``_pi_list[i]``
+        is in the net's fanin closure.  One forward topological pass (the
+        gate list is topologically ordered), computed lazily once."""
+        if self._pi_mask is None:
+            pis = sorted(self.netlist.inputs)
+            self._pi_list = pis
+            mask = [0] * self.netlist.num_nets
+            for slot, net in enumerate(pis):
+                mask[net] = 1 << slot
+            gate_inputs = self.gate_inputs
+            gate_output = self.gate_output
+            for index in range(len(gate_output)):
+                acc = 0
+                for net in gate_inputs[index]:
+                    acc |= mask[net]
+                mask[gate_output[index]] |= acc
+            self._pi_mask = mask
+        return self._pi_mask
+
+    def support_of(self, seed):
+        """Primary inputs whose pattern values determine the detection
+        outcome of every fault seeded at *seed*: the fanin closure of the
+        seed plus the inputs and outputs of every gate in its fanout cone.
+
+        The good values on these nets fix (a) excitation — the seed's
+        driving gate, when present, is in the closure, so its input nets
+        are too — and (b) propagation and observation, because every
+        side-input consumed while the fault effect walks the cone is an
+        input of a cone gate.  Faults whose supporting PI values are
+        unchanged between two pattern sets therefore detect identically;
+        this is the soundness lemma the incremental restore layer
+        (:mod:`repro.exec.incremental`) relies on.  Cached per seed.
+        """
+        support = self._support.get(seed)
+        if support is None:
+            # Forward walk over the seed's static fanout cone, OR-ing each
+            # visited net's precomputed fanin-PI bitmask.  The fanin
+            # closure of {seed} ∪ {cone gate inputs} projected onto the
+            # PIs is exactly the union of those per-net masks (cone gate
+            # *outputs* add nothing: an output's mask is the OR of its
+            # input masks, which are already accumulated).
+            mask = self._pi_masks()
+            acc = mask[seed]
+            seen_gates = set()
+            seen_nets = {seed}
+            stack = [seed]
+            while stack:
+                net = stack.pop()
+                for gate in self.fanout[net]:
+                    if gate not in seen_gates:
+                        seen_gates.add(gate)
+                        for inp in self.gate_inputs[gate]:
+                            acc |= mask[inp]
+                        out = self.gate_output[gate]
+                        if out not in seen_nets:
+                            seen_nets.add(out)
+                            stack.append(out)
+            pis = self._pi_list
+            members = []
+            while acc:
+                low = acc & -acc
+                members.append(pis[low.bit_length() - 1])
+                acc ^= low
+            support = frozenset(members)
+            self._support[seed] = support
+        return support
 
     def cone_size(self, net):
         """Number of gates in the static transitive fanout of *net*

@@ -62,7 +62,7 @@ def test_put_get_round_trip_and_counters(cache):
     cache.put(key, {"cycles": 42, "rows": [[1, 2]]})
     assert cache.get(key) == {"cycles": 42, "rows": [[1, 2]]}
     assert cache.stats == {"hits": 1, "misses": 1, "puts": 1,
-                           "evictions": 0}
+                           "evictions": 0, "corrupt": 0}
     # Entries fan out under the first two key hex chars.
     assert os.path.exists(os.path.join(cache.directory, "ab",
                                        key + ".json"))

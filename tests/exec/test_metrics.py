@@ -67,7 +67,7 @@ def test_to_dict_and_save_round_trip(tmp_path):
     path = tmp_path / "out" / "metrics.json"
     metrics.save(str(path))
     document = json.loads(path.read_text())
-    assert document["version"] == 2
+    assert document["version"] == 3
     assert document["fault_sim"]["total_faults"] == 10
     assert document["fault_sim"]["mean_shard_utilization"] == 0.4
     assert document["cache"] == {"hits": 1, "misses": 1, "puts": 0,
